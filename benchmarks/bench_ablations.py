@@ -1,0 +1,51 @@
+"""Ablations of AC-SpGEMM's design choices (DESIGN.md / §5).
+
+Toggles: keep-last-row carrying (§3.2.3), dynamic sort-bit reduction
+(§3.2.3), long-row pointer chunks (§3.4) and the global load-balancing
+granularity (256 vs 512 non-zeros per block, §4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.bench import ablation_rows, format_table, write_csv
+
+HEADERS = ["matrix", "variant", "sim_ms", "gflops", "chunks", "shared_rows"]
+
+
+def test_ablations(benchmark, results_dir):
+    rows = run_once(benchmark, ablation_rows)
+    write_csv(results_dir / "ablations.csv", HEADERS, rows)
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [(r[0], r[1], round(r[2], 3), round(r[3], 2), r[4], r[5]) for r in rows],
+            title="AC-SpGEMM design-choice ablations",
+        )
+    )
+    by = defaultdict(dict)
+    for r in rows:
+        by[r[0]][r[1]] = r
+
+    for name, variants in by.items():
+        base = variants["baseline"]
+        # disabling keep-last-row writes more chunks
+        assert variants["no-keep-last-row"][4] >= base[4], name
+
+    # bit reduction pays off where batches are dense enough that saved
+    # radix passes exceed the min/max-tracking cost (its design regime);
+    # tiny sparse batches may break even, so assert on the dense cases
+    for name in ("poisson3Da", "cant"):
+        variants = by[name]
+        assert variants["no-bit-reduction"][2] >= variants["baseline"][2], name
+
+    # long-row handling matters where long rows exist: the webbase and
+    # language analogues carry rows longer than the ESC capacity
+    for name in ("webbase-1M", "language"):
+        if name in by:
+            variants = by[name]
+            assert variants["no-long-rows"][2] >= variants["baseline"][2] * 0.999, name

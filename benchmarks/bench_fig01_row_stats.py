@@ -1,0 +1,44 @@
+"""Figure 1: average (min/max) non-zeros per row across the collection.
+
+The paper plots mean row length with min/max overlays for the whole
+SuiteSparse collection, motivating the design point that most matrices
+have average rows shorter than ~200 elements.  This bench regenerates
+the series over the synthetic suite plus the named collection.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, named_cases, suite_cases, write_csv
+
+
+def _rows():
+    cases = suite_cases() + named_cases()
+    data = sorted(
+        (
+            (
+                c.name,
+                round(c.stats.mean_row_length, 2),
+                c.stats.min_row_length,
+                c.stats.max_row_length,
+                c.stats.nnz,
+            )
+            for c in cases
+        ),
+        key=lambda r: r[1],
+    )
+    return data
+
+
+def test_fig01_row_length_distribution(benchmark, results_dir):
+    rows = run_once(benchmark, _rows)
+    headers = ["matrix", "avg_nnz_per_row", "min", "max", "nnz"]
+    write_csv(results_dir / "fig01_row_stats.csv", headers, rows)
+    below_200 = sum(1 for r in rows if r[1] <= 200)
+    print()
+    print(format_table(headers, rows[:10], title="Figure 1 (first 10 by avg row length)"))
+    print(f"... {len(rows)} matrices total;"
+          f" {100.0 * below_200 / len(rows):.1f}% have avg row length <= 200"
+          " (paper: 'the majority ... less than 200 elements')")
+    assert below_200 / len(rows) > 0.8

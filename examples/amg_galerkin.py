@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Algebraic multigrid Galerkin product: the paper's headline use case.
+
+The introduction motivates SpGEMM with algebraic multigrid solvers [5]:
+building the coarse-grid operator requires the *Galerkin triple product*
+``A_coarse = R @ A @ P`` with ``R = P.T``.  This example builds a 2-D
+Poisson problem, constructs an aggregation-based prolongation operator
+P, and computes the triple product with AC-SpGEMM — two chained SpGEMMs
+— verifying every step against the sequential reference and checking
+the spectral sanity of the coarse operator (row sums of a Laplacian
+Galerkin product stay ~0).
+
+Run:  python examples/amg_galerkin.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AcSpgemmOptions, CSRMatrix, ac_spgemm, spgemm_reference, transpose
+from repro.sparse import COOMatrix
+
+
+def poisson_2d(side: int) -> CSRMatrix:
+    """Standard 5-point Laplacian on a side x side grid."""
+    n = side * side
+    idx = np.arange(n)
+    x, y = idx % side, idx // side
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0)]
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ok = (0 <= x + dx) & (x + dx < side) & (0 <= y + dy) & (y + dy < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + dx + dy * side)
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COOMatrix(
+        rows=n,
+        cols=n,
+        row_idx=np.concatenate(rows),
+        col_idx=np.concatenate(cols),
+        values=np.concatenate(vals),
+    ).to_csr()
+
+
+def aggregation_prolongation(side: int, factor: int = 2) -> CSRMatrix:
+    """Piecewise-constant prolongation over factor x factor aggregates."""
+    n = side * side
+    coarse_side = (side + factor - 1) // factor
+    idx = np.arange(n)
+    x, y = idx % side, idx // side
+    aggregate = (x // factor) + (y // factor) * coarse_side
+    return COOMatrix(
+        rows=n,
+        cols=coarse_side * coarse_side,
+        row_idx=idx,
+        col_idx=aggregate,
+        values=np.ones(n),
+    ).to_csr()
+
+
+def main() -> None:
+    side = 64
+    a = poisson_2d(side)
+    p = aggregation_prolongation(side)
+    r = transpose(p)
+    print(f"A: {a.shape}, nnz={a.nnz} (5-point Laplacian, {side}x{side} grid)")
+    print(f"P: {p.shape}, nnz={p.nnz} (2x2 aggregation)")
+
+    opts = AcSpgemmOptions()
+
+    # Galerkin triple product as two chained SpGEMMs
+    ap = ac_spgemm(a, p, opts)
+    a_coarse = ac_spgemm(r, ap.matrix, opts)
+    print(f"\nA_coarse = R @ A @ P: {a_coarse.matrix.shape}, "
+          f"nnz={a_coarse.matrix.nnz}")
+    print(f"simulated time: AP {ap.seconds * 1e3:.3f} ms + "
+          f"R(AP) {a_coarse.seconds * 1e3:.3f} ms")
+
+    # verify both products against the reference
+    assert ap.matrix.allclose(spgemm_reference(a, p))
+    assert a_coarse.matrix.allclose(spgemm_reference(r, ap.matrix))
+    print("both products verified against the sequential reference")
+
+    # coarse operator sanity: interior aggregate rows of the Galerkin
+    # Laplacian sum to ~0 (constants stay in the near-null space)
+    row_sums = np.zeros(a_coarse.matrix.rows)
+    row_ids = np.repeat(
+        np.arange(a_coarse.matrix.rows), a_coarse.matrix.row_lengths()
+    )
+    np.add.at(row_sums, row_ids, a_coarse.matrix.values)
+    interior = np.abs(row_sums) < 1e-9
+    print(f"coarse rows with zero row sum: {interior.sum()} / {row_sums.size} "
+          "(boundary aggregates carry the Dirichlet deficit)")
+
+    # a second coarsening level, as a real AMG hierarchy would do
+    coarse_side = side // 2
+    p2 = aggregation_prolongation(coarse_side)
+    r2 = transpose(p2)
+    ap2 = ac_spgemm(a_coarse.matrix, p2, opts)
+    a2 = ac_spgemm(r2, ap2.matrix, opts)
+    assert a2.matrix.allclose(
+        spgemm_reference(r2, spgemm_reference(a_coarse.matrix, p2))
+    )
+    print(f"level-2 operator: {a2.matrix.shape}, nnz={a2.matrix.nnz} — "
+          "two-level hierarchy built entirely with AC-SpGEMM")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Graph analytics with SpGEMM: triangle counting and short cycles.
+
+Two more of the introduction's motivating applications:
+
+* triangle counting — the lower-triangle formulation
+  ``triangles = sum(hadamard(L @ L, L))`` where L is the strictly lower
+  adjacency triangle (related to betweenness-centrality building blocks
+  [6]);
+* short directed cycle detection via powers of the adjacency matrix
+  (Yuster & Zwick [26]): ``trace(A^k)`` counts closed k-walks, and a
+  zero diagonal of ``A^2``/``A^3`` certifies the absence of 2-/3-cycles.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AcSpgemmOptions, CSRMatrix, ac_spgemm
+from repro.sparse import diagonal, hadamard, lower_triangle, spgemm_reference
+from repro.matrices import power_law
+
+
+def triangle_count(adj: CSRMatrix, opts: AcSpgemmOptions) -> int:
+    """Count undirected triangles: sum over edges (u,v) of |N(u) ∩ N(v)|
+    restricted to wedges below the diagonal —
+    ``sum(hadamard(L @ L, L))`` for the strict lower triangle L."""
+    lower = lower_triangle(adj)
+    ll = ac_spgemm(lower, lower, opts).matrix
+    return int(round(hadamard(ll, lower).values.sum()))
+
+
+def triangle_count_dense_reference(adj: CSRMatrix) -> int:
+    d = adj.to_dense()
+    return int(round(np.trace(d @ d @ d) / 6))
+
+
+def main() -> None:
+    opts = AcSpgemmOptions()
+
+    # --- undirected power-law graph -----------------------------------
+    raw = power_law(1500, 6, seed=11)
+    # symmetrise to an unweighted undirected adjacency without self loops
+    d = ((raw.to_dense() + raw.to_dense().T) > 0).astype(float)
+    np.fill_diagonal(d, 0.0)
+    adj = CSRMatrix.from_dense(d)
+    print(f"graph: {adj.rows} vertices, {adj.nnz // 2} undirected edges")
+
+    tri = triangle_count(adj, opts)
+    ref = triangle_count_dense_reference(adj)
+    print(f"triangles via L@L (AC-SpGEMM): {tri}  (dense reference: {ref})")
+    assert tri == ref
+
+    # --- directed cycle detection --------------------------------------
+    rng = np.random.default_rng(3)
+    dd = (rng.random((800, 800)) < 0.004).astype(float)
+    np.fill_diagonal(dd, 0.0)
+    dg = CSRMatrix.from_dense(dd)
+    a2 = ac_spgemm(dg, dg, opts).matrix
+    assert a2.allclose(spgemm_reference(dg, dg))
+    a3 = ac_spgemm(a2, dg, opts).matrix
+
+    two_cycles = diagonal(a2).sum() / 2
+    three_cycles = diagonal(a3).sum() / 3
+    print(f"\ndirected graph: {dg.rows} vertices, {dg.nnz} edges")
+    print(f"2-cycles (mutual edges): {two_cycles:.0f}")
+    print(f"3-cycles: {three_cycles:.0f}")
+
+    dense = dg.to_dense()
+    assert two_cycles == round(np.trace(dense @ dense) / 2)
+    assert three_cycles == round(np.trace(dense @ dense @ dense) / 3)
+    print("cycle counts verified against dense matrix powers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate the numeric claims of EXPERIMENTS.md from results/*.csv.
+
+Run after a full ``pytest benchmarks/ --benchmark-only`` sweep; prints
+the fresh aggregates so the hand-written narrative can be checked or
+updated against them.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def read(name):
+    with open(HERE / name) as fh:
+        return list(csv.DictReader(fh))
+
+
+def main() -> None:
+    for dtype in ("float64", "float32"):
+        for split in ("sparse", "dense"):
+            rows = read(f"table1_{dtype}_{split}.csv")
+            print(f"Table 1 {dtype} {split}:")
+            for r in rows:
+                print(
+                    f"  {r['competitor']:10s} n={r['n']} h.mean={r['h.mean']}"
+                    f" %better={r['%better']} %best={r['%best']}"
+                )
+
+    cross = read("cpu_crossover.csv")
+    prev = None
+    for r in cross:
+        s = float(r["speedup_AC_over_CPU"])
+        if prev is not None and prev < 1.0 <= s:
+            print(f"CPU crossover between nnz={prev_nnz} and nnz={r['nnz']}")
+        prev, prev_nnz = s, r["nnz"]
+
+    restarts = read("restart_study.csv")
+    print(
+        "restart study: "
+        + ", ".join(f"{r['restarts']}R->{float(r['sim_ms']):.2f}ms" for r in restarts)
+    )
+
+    mkl = read("gpu_vs_mkl.csv")
+    for r in mkl:
+        print(
+            f"GPU vs MKL ({r['precision']}): bhsparse {r['bhsparse_over_mkl']}x, "
+            f"AC {r['ac_over_mkl']}x"
+        )
+
+    for split in ("small", "large"):
+        rows = read(f"fig09_12_float64_{split}.csv")
+        algs = [k for k in rows[0] if k not in ("matrix", "avg_row_len")]
+        wins = sum(
+            1
+            for r in rows
+            if float(r["ac-spgemm"]) == max(float(r[a]) for a in algs)
+        )
+        print(f"fig09-12 double {split}: AC fastest {wins}/{len(rows)}")
+
+
+if __name__ == "__main__":
+    main()

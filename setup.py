@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package)."""
+from setuptools import setup
+
+setup()

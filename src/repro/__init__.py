@@ -1,0 +1,50 @@
+"""repro — a from-scratch reproduction of *Adaptive Sparse Matrix-Matrix
+Multiplication on the GPU* (Winter et al., PPoPP'19).
+
+The package implements AC-SpGEMM and all evaluated baselines on a
+deterministic simulated GPU.  Quick start::
+
+    import numpy as np
+    from repro import CSRMatrix, ac_spgemm
+
+    a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [2.0, 3.0]]))
+    result = ac_spgemm(a, a)
+    print(result.matrix.to_dense())
+    print(result.seconds, result.stage_cycles)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core import AcSpgemmOptions, AcSpgemmResult, ac_spgemm
+from .gpu import SMALL_DEVICE, TITAN_XP, DeviceConfig
+from .sparse import (
+    COOMatrix,
+    CSRMatrix,
+    count_intermediate_products,
+    load_matrix,
+    matrix_stats,
+    spgemm_reference,
+    squared_operands,
+    transpose,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcSpgemmOptions",
+    "AcSpgemmResult",
+    "COOMatrix",
+    "CSRMatrix",
+    "DeviceConfig",
+    "SMALL_DEVICE",
+    "TITAN_XP",
+    "__version__",
+    "ac_spgemm",
+    "count_intermediate_products",
+    "load_matrix",
+    "matrix_stats",
+    "spgemm_reference",
+    "squared_operands",
+    "transpose",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — shorthand for the CLI runner."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""Common infrastructure for the competing SpGEMM implementations.
+
+Every baseline evaluated in the paper (cuSPARSE, bhSparse, RMerge,
+nsparse, Kokkos) plus the CUSP-style global ESC and a CPU Gustavson
+reference is reimplemented here against the same simulated device and
+cost model as AC-SpGEMM, so relative comparisons are apples-to-apples:
+each algorithm charges the global traffic, on-chip work, kernel
+launches and inspection passes its published design implies.
+
+Numerical results are always the true product; what differs between
+algorithms is (a) the cost profile and (b) the floating-point
+*accumulation order*.  Hash-based algorithms accumulate in an order
+determined by the hardware scheduler — modelled by a seeded shuffle —
+and are therefore not bit-stable (†-rows of Table 1); sort- and
+merge-based algorithms accumulate in deterministic sorted order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.config import DeviceConfig, TITAN_XP
+from ..gpu.cost import CostConstants, CostMeter, DEFAULT_COSTS
+from ..gpu.counters import TrafficCounters
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "SpGEMMRun",
+    "SpGEMMAlgorithm",
+    "expand_products",
+    "accumulate_products",
+]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class SpGEMMRun:
+    """Result of one simulated SpGEMM execution."""
+
+    matrix: CSRMatrix
+    algorithm: str
+    cycles: float
+    counters: TrafficCounters
+    clock_ghz: float
+    bit_stable: bool
+    extra_memory_bytes: int = 0
+    stage_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated execution time."""
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    def gflops(self, temp_products: int) -> float:
+        """GFLOPS by the paper's convention (2 FLOPs per temporary
+        product) against simulated time."""
+        if self.seconds <= 0:
+            return 0.0
+        return 2.0 * temp_products / self.seconds / 1e9
+
+
+class SpGEMMAlgorithm:
+    """Interface of a simulated SpGEMM implementation.
+
+    Subclasses set ``name`` / ``bit_stable`` and implement
+    :meth:`_execute`, returning the product matrix and charging all
+    work to the provided meter.
+    """
+
+    name: str = "abstract"
+    bit_stable: bool = True
+
+    def __init__(
+        self,
+        device: DeviceConfig = TITAN_XP,
+        costs: CostConstants = DEFAULT_COSTS,
+    ) -> None:
+        self.device = device
+        self.costs = costs
+
+    def multiply(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        *,
+        dtype=np.float64,
+        scheduler_seed: int = 0,
+    ) -> SpGEMMRun:
+        """Compute ``A @ B``; returns the matrix with full accounting.
+
+        ``scheduler_seed`` perturbs the modelled hardware scheduling;
+        bit-stable algorithms ignore it by construction.
+        """
+        if a.cols != b.rows:
+            raise ValueError(
+                f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
+            )
+        meter = CostMeter(config=self.device, constants=self.costs)
+        stage_cycles: dict[str, float] = {}
+        matrix, extra_mem = self._execute(
+            a, b, np.dtype(dtype), meter, stage_cycles, scheduler_seed
+        )
+        return SpGEMMRun(
+            matrix=matrix,
+            algorithm=self.name,
+            cycles=meter.cycles,
+            counters=meter.counters,
+            clock_ghz=self.device.clock_ghz,
+            bit_stable=self.bit_stable,
+            extra_memory_bytes=extra_mem,
+            stage_cycles=stage_cycles,
+        )
+
+    # implemented by subclasses -------------------------------------------
+    def _execute(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        dtype: np.dtype,
+        meter: CostMeter,
+        stage_cycles: dict[str, float],
+        scheduler_seed: int,
+    ) -> tuple[CSRMatrix, int]:
+        raise NotImplementedError
+
+    # shared helpers ---------------------------------------------------
+
+    def _device_parallel(self, meter: CostMeter, serial_cycles: float) -> float:
+        """Cycles of a device-wide pass spread over all SMs."""
+        return serial_cycles / self.device.num_sms
+
+
+def expand_products(
+    a: CSRMatrix, b: CSRMatrix, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All temporary products of A @ B in deterministic CSR order.
+
+    Returns ``(rows, cols, vals)`` with one entry per product
+    ``A[i, k] * B[k, j]``; the order is row-major over A's entries and
+    B-row order within each — the canonical expansion order.
+    """
+    if a.nnz == 0 or b.nnz == 0:
+        empty = np.zeros(0, dtype=_INDEX_DTYPE)
+        return empty, empty.copy(), np.zeros(0, dtype=dtype)
+    b_lengths = b.row_lengths()
+    expand_counts = b_lengths[a.col_idx]
+    total = int(expand_counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=_INDEX_DTYPE)
+        return empty, empty.copy(), np.zeros(0, dtype=dtype)
+
+    a_rows = np.repeat(np.arange(a.rows, dtype=_INDEX_DTYPE), a.row_lengths())
+    rows = np.repeat(a_rows, expand_counts)
+    a_vals = np.repeat(a.values.astype(dtype, copy=False), expand_counts)
+
+    # B element index of each product: per A-entry a run
+    # [b_ptr[k], b_ptr[k] + len) — built with the cumsum-offset trick.
+    starts = b.row_ptr[a.col_idx]
+    offsets = np.arange(total, dtype=_INDEX_DTYPE)
+    entry_of_product = np.repeat(
+        np.arange(a.nnz, dtype=_INDEX_DTYPE), expand_counts
+    )
+    run_starts = np.concatenate(
+        [[0], np.cumsum(expand_counts)[:-1]]
+    ).astype(_INDEX_DTYPE)
+    within = offsets - run_starts[entry_of_product]
+    b_elem = starts[entry_of_product] + within
+
+    cols = b.col_idx[b_elem]
+    vals = a_vals * b.values[b_elem].astype(dtype, copy=False)
+    return rows, cols, vals
+
+
+def accumulate_products(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+    *,
+    shuffle_seed: int | None = None,
+) -> CSRMatrix:
+    """Sort products by (row, col) and sum duplicates into canonical CSR.
+
+    With ``shuffle_seed=None`` the accumulation order within each output
+    entry is the expansion order (stable sort) — deterministic, the
+    behaviour of sort/merge-based algorithms.  With a seed, products are
+    permuted within their group before summation, modelling the
+    scheduler-dependent insertion order of hash-based algorithms.
+    """
+    dtype = vals.dtype
+    if rows.shape[0] == 0:
+        return CSRMatrix.empty(n_rows, n_cols, dtype=dtype)
+    if shuffle_seed is None:
+        order = np.lexsort((cols, rows))
+    else:
+        rng = np.random.default_rng(shuffle_seed)
+        priority = rng.random(rows.shape[0])
+        order = np.lexsort((priority, cols, rows))
+    r = rows[order]
+    c = cols[order]
+    v = vals[order]
+    new_group = np.empty(r.shape[0], dtype=bool)
+    new_group[0] = True
+    np.not_equal(r[1:], r[:-1], out=new_group[1:])
+    np.logical_or(new_group[1:], c[1:] != c[:-1], out=new_group[1:])
+    start_idx = np.nonzero(new_group)[0]
+    out_vals = np.add.reduceat(v, start_idx)
+    out_rows = r[start_idx]
+    out_cols = c[start_idx]
+    row_counts = np.bincount(out_rows, minlength=n_rows)
+    row_ptr = np.zeros(n_rows + 1, dtype=_INDEX_DTYPE)
+    np.cumsum(row_counts, out=row_ptr[1:])
+    return CSRMatrix(
+        rows=n_rows,
+        cols=n_cols,
+        row_ptr=row_ptr,
+        col_idx=out_cols,
+        values=out_vals,
+    )

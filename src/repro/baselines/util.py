@@ -1,0 +1,26 @@
+"""Shared statistics helpers for the baseline cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["row_temp_counts", "output_row_counts"]
+
+
+def row_temp_counts(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Temporary products generated per row of A (the quantity every
+    inspection-based approach bins rows by)."""
+    counts = np.zeros(a.rows, dtype=np.int64)
+    if a.nnz == 0 or b.nnz == 0:
+        return counts
+    expand = b.row_lengths()[a.col_idx]
+    a_rows = np.repeat(np.arange(a.rows, dtype=np.int64), a.row_lengths())
+    np.add.at(counts, a_rows, expand)
+    return counts
+
+
+def output_row_counts(c: CSRMatrix) -> np.ndarray:
+    """nnz per output row (post-hoc stand-in for symbolic counts)."""
+    return c.row_lengths()

@@ -1,0 +1,186 @@
+"""Benchmark harness: cases, runs, and a persistent result cache.
+
+Every experiment in the paper's evaluation section reduces to "run a set
+of algorithms over a set of matrices and report simulated GFLOPS plus
+side statistics".  The harness centralises that: :class:`MatrixCase`
+wraps a matrix with its benchmark operands (``A @ A`` or ``A @ A.T`` per
+§4), :func:`run_case` executes one (case, algorithm, dtype) cell, and
+:class:`ResultCache` memoises cells on disk so the per-figure bench
+files can share one sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.base import SpGEMMAlgorithm
+from ..baselines.registry import make_algorithm
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import count_intermediate_products, spgemm_reference
+from ..sparse.stats import matrix_stats, squared_operands
+
+__all__ = ["MatrixCase", "RunRecord", "ResultCache", "run_case", "default_cache"]
+
+#: bump when generators / cost model change incompatibly
+CACHE_VERSION = 7
+
+
+@dataclass
+class MatrixCase:
+    """One benchmark input: the matrix and its squared-product operands."""
+
+    name: str
+    matrix: CSRMatrix
+    family: str = ""
+
+    def __post_init__(self) -> None:
+        self.a, self.b = squared_operands(self.matrix)
+        self.temp = count_intermediate_products(self.a, self.b)
+        self.stats = matrix_stats(self.matrix)
+
+    @property
+    def mean_row_length(self) -> float:
+        """Average non-zeros per row of the input matrix."""
+        return self.stats.mean_row_length
+
+    @property
+    def highly_sparse(self) -> bool:
+        """The paper's a <= 42 classification."""
+        return self.stats.highly_sparse
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One cell of the sweep: algorithm x matrix x dtype."""
+
+    matrix: str
+    algorithm: str
+    dtype: str
+    gflops: float
+    seconds: float
+    cycles: float
+    temp: int
+    nnz_c: int
+    mean_row_length: float
+    extra_memory_bytes: int
+    bit_stable: bool
+    correct: bool
+    stage_cycles: dict[str, float] = field(default_factory=dict)
+    ac_extras: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Serialisable form for the on-disk cache."""
+        d = self.__dict__.copy()
+        return d
+
+    @classmethod
+    def from_json(cls, d: dict) -> "RunRecord":
+        """Inverse of :meth:`to_json`."""
+        return cls(**d)
+
+
+def run_case(
+    case: MatrixCase,
+    algorithm: str | SpGEMMAlgorithm,
+    dtype=np.float64,
+    *,
+    verify: bool = True,
+) -> RunRecord:
+    """Execute one algorithm on one case and collect the record."""
+    alg = (
+        make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    )
+    run = alg.multiply(case.a, case.b, dtype=dtype)
+    correct = True
+    if verify:
+        ref = spgemm_reference(case.a.astype(dtype), case.b.astype(dtype))
+        correct = run.matrix.allclose(ref, rtol=1e-4 if dtype == np.float32 else 1e-10)
+    extras: dict[str, float] = {}
+    ac = getattr(run, "ac_result", None)
+    if ac is not None:
+        extras = {
+            "restarts": ac.restarts,
+            "mp_load": ac.multiprocessor_load,
+            "n_chunks": ac.n_chunks,
+            "shared_rows": ac.shared_rows,
+            "helper_bytes": ac.memory.helper_bytes,
+            "chunk_pool_bytes": ac.memory.chunk_pool_bytes,
+            "chunk_used_bytes": ac.memory.chunk_used_bytes,
+            "output_bytes": ac.memory.output_bytes,
+        }
+    return RunRecord(
+        matrix=case.name,
+        algorithm=run.algorithm,
+        dtype=np.dtype(dtype).name,
+        gflops=run.gflops(case.temp),
+        seconds=run.seconds,
+        cycles=run.cycles,
+        temp=case.temp,
+        nnz_c=run.matrix.nnz,
+        mean_row_length=case.mean_row_length,
+        extra_memory_bytes=run.extra_memory_bytes,
+        bit_stable=run.bit_stable,
+        correct=correct,
+        stage_cycles=dict(run.stage_cycles),
+        ac_extras=extras,
+    )
+
+
+class ResultCache:
+    """Disk-backed memo of :class:`RunRecord` cells.
+
+    The simulator is deterministic, so a cell never changes for a fixed
+    cache version; the per-figure benches share one sweep through this
+    cache instead of re-running the full cross product.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._data: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+                if payload.get("version") == CACHE_VERSION:
+                    self._data = payload.get("cells", {})
+            except (json.JSONDecodeError, OSError):
+                self._data = {}
+
+    @staticmethod
+    def key(matrix: str, algorithm: str, dtype: str) -> str:
+        """Cache key of one sweep cell."""
+        return f"{matrix}|{algorithm}|{dtype}"
+
+    def get_or_run(
+        self,
+        case: MatrixCase,
+        algorithm: str,
+        dtype=np.float64,
+        *,
+        verify: bool = True,
+    ) -> RunRecord:
+        """Return the memoised record, executing the cell on a miss."""
+        k = self.key(case.name, algorithm, np.dtype(dtype).name)
+        if k in self._data:
+            return RunRecord.from_json(self._data[k])
+        rec = run_case(case, algorithm, dtype, verify=verify)
+        self._data[k] = rec.to_json()
+        return rec
+
+    def save(self) -> None:
+        """Persist the cache to disk."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps({"version": CACHE_VERSION, "cells": self._data})
+        )
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def default_cache(root: str | Path = "results") -> ResultCache:
+    """The shared on-disk sweep cache used by the benches."""
+    return ResultCache(Path(root) / "sweep_cache.json")

@@ -1,0 +1,93 @@
+"""Aggregation metrics used by the paper's tables and trend plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "harmonic_mean",
+    "SpeedupSummary",
+    "speedup_summary",
+    "trend_bins",
+]
+
+
+def harmonic_mean(values) -> float:
+    """The paper's aggregate for relative speedups (Table 1 "h. mean")."""
+    v = np.asarray(list(values), dtype=np.float64)
+    if v.size == 0:
+        return float("nan")
+    if (v <= 0).any():
+        raise ValueError("harmonic mean requires positive values")
+    return float(v.size / np.sum(1.0 / v))
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """One row of Table 1: AC-SpGEMM versus one competitor."""
+
+    competitor: str
+    n_matrices: int
+    min_speedup: float
+    max_speedup: float
+    h_mean: float
+    pct_better_than_ac: float  # competitor faster than AC ("better than")
+    pct_best_overall: float  # competitor fastest of all ("best")
+
+
+def speedup_summary(
+    competitor: str,
+    ac_seconds: dict[str, float],
+    comp_seconds: dict[str, float],
+    best_algorithm: dict[str, str],
+) -> SpeedupSummary:
+    """Summarise AC vs one competitor over the matrices both completed.
+
+    ``speedup = competitor_time / AC_time`` (>1 means AC faster), as in
+    Table 1.
+    """
+    common = sorted(set(ac_seconds) & set(comp_seconds))
+    if not common:
+        raise ValueError(f"no common matrices for {competitor}")
+    speedups = np.asarray(
+        [comp_seconds[m] / ac_seconds[m] for m in common], dtype=np.float64
+    )
+    better = np.asarray(
+        [comp_seconds[m] < ac_seconds[m] for m in common], dtype=bool
+    )
+    best = np.asarray(
+        [best_algorithm[m] == competitor for m in common], dtype=bool
+    )
+    return SpeedupSummary(
+        competitor=competitor,
+        n_matrices=len(common),
+        min_speedup=float(speedups.min()),
+        max_speedup=float(speedups.max()),
+        h_mean=harmonic_mean(speedups),
+        pct_better_than_ac=float(100.0 * better.mean()),
+        pct_best_overall=float(100.0 * best.mean()),
+    )
+
+
+def trend_bins(
+    temp_counts, values, n_bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """Geometric binning over intermediate-product counts for the
+    Figure 5 trend lines; returns (bin centre, mean value, n) tuples."""
+    t = np.asarray(list(temp_counts), dtype=np.float64)
+    v = np.asarray(list(values), dtype=np.float64)
+    if t.size == 0:
+        return []
+    lo, hi = t.min(), t.max()
+    if lo <= 0:
+        raise ValueError("temporary-product counts must be positive")
+    edges = np.geomspace(lo, hi * 1.0001, n_bins + 1)
+    out = []
+    for i in range(n_bins):
+        mask = (t >= edges[i]) & (t < edges[i + 1])
+        if mask.any():
+            centre = float(np.sqrt(edges[i] * edges[i + 1]))
+            out.append((centre, float(v[mask].mean()), int(mask.sum())))
+    return out

@@ -1,0 +1,195 @@
+"""Execution tracing — the artifact's "Debug" mode (Appendix A.4).
+
+"The output of the script are timing measurements and when enabling
+Debug within the framework ... also detailed measurements as well as
+memory measurements."
+
+:class:`TraceRecorder` collects one event per simulated kernel launch
+(stage, sequence number, device-clock interval, block count, per-block
+cycle distribution) plus point events (host round trips, allocations).
+The trace can be rendered as a text summary or exported as a Chrome
+``chrome://tracing`` / Perfetto JSON timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..gpu.scheduler import KernelTiming
+
+__all__ = ["KernelEvent", "PointEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One simulated kernel launch on the device timeline."""
+
+    stage: str
+    sequence: int
+    start_cycle: float
+    end_cycle: float
+    n_blocks: int
+    min_block_cycles: float
+    max_block_cycles: float
+    mean_block_cycles: float
+    multiprocessor_load: float
+
+    @property
+    def duration(self) -> float:
+        """Kernel makespan in cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """An instantaneous device/host event (restart, allocation, ...)."""
+
+    label: str
+    cycle: float
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates the device timeline of one AC-SpGEMM execution."""
+
+    clock_ghz: float = 1.582
+    kernels: list[KernelEvent] = field(default_factory=list)
+    points: list[PointEvent] = field(default_factory=list)
+    _clock: float = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current device clock in cycles."""
+        return self._clock
+
+    def record_kernel(
+        self, stage: str, timing: KernelTiming, block_cycles=None
+    ) -> None:
+        """Append one kernel launch and advance the device clock."""
+        blocks = np.asarray(
+            block_cycles if block_cycles is not None else [], dtype=np.float64
+        )
+        self.kernels.append(
+            KernelEvent(
+                stage=stage,
+                sequence=len(self.kernels),
+                start_cycle=self._clock,
+                end_cycle=self._clock + timing.makespan_cycles,
+                n_blocks=timing.n_blocks,
+                min_block_cycles=float(blocks.min()) if blocks.size else 0.0,
+                max_block_cycles=float(blocks.max()) if blocks.size else 0.0,
+                mean_block_cycles=float(blocks.mean()) if blocks.size else 0.0,
+                multiprocessor_load=timing.multiprocessor_load,
+            )
+        )
+        self._clock += timing.makespan_cycles
+
+    def record_span(self, stage: str, cycles: float) -> None:
+        """A device-wide pass without per-block structure."""
+        self.record_kernel(
+            stage,
+            KernelTiming(
+                makespan_cycles=cycles, sm_busy_cycles=(), n_blocks=0
+            ),
+        )
+
+    def record_point(self, label: str, detail: str = "") -> None:
+        """Record an instantaneous event at the current clock."""
+        self.points.append(
+            PointEvent(label=label, cycle=self._clock, detail=detail)
+        )
+        # host round trips consume device-idle wall time; callers add the
+        # cycles explicitly via record_span where applicable
+
+    # -- reporting ---------------------------------------------------
+
+    def total_cycles(self) -> float:
+        """Device clock after the last recorded event."""
+        return self._clock
+
+    def stage_totals(self) -> dict[str, float]:
+        """Cycles per pipeline stage, summed over its kernels."""
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.stage] = out.get(k.stage, 0.0) + k.duration
+        return out
+
+    def summary(self) -> str:
+        """Human-readable per-kernel report (the Debug printout)."""
+        us = 1e6 / (self.clock_ghz * 1e9)
+        lines = [
+            "kernel timeline "
+            f"(total {self.total_cycles() * us:.2f} us simulated):"
+        ]
+        for k in self.kernels:
+            lines.append(
+                f"  [{k.sequence:3d}] {k.stage:4s} "
+                f"{k.start_cycle * us:9.2f} -> {k.end_cycle * us:9.2f} us  "
+                f"blocks={k.n_blocks:5d}  "
+                f"block cycles min/mean/max = "
+                f"{k.min_block_cycles:9.0f}/{k.mean_block_cycles:9.0f}/"
+                f"{k.max_block_cycles:9.0f}  mpL={k.multiprocessor_load:.2f}"
+            )
+        for p in self.points:
+            lines.append(f"  event @ {p.cycle * us:9.2f} us: {p.label} {p.detail}")
+        return "\n".join(lines)
+
+    def to_chrome_trace(self, path: str | Path) -> Path:
+        """Write a chrome://tracing / Perfetto compatible JSON file.
+
+        Cycles are mapped to microseconds on the simulated clock; each
+        pipeline stage gets its own thread row.
+        """
+        us = 1e6 / (self.clock_ghz * 1e9)
+        stages = list(dict.fromkeys(k.stage for k in self.kernels))
+        tid_of = {s: i + 1 for i, s in enumerate(stages)}
+        events = []
+        for k in self.kernels:
+            events.append(
+                {
+                    "name": f"{k.stage}#{k.sequence}",
+                    "cat": "kernel",
+                    "ph": "X",
+                    "ts": k.start_cycle * us,
+                    "dur": max(k.duration * us, 1e-3),
+                    "pid": 1,
+                    "tid": tid_of[k.stage],
+                    "args": {
+                        "blocks": k.n_blocks,
+                        "mp_load": k.multiprocessor_load,
+                        "max_block_cycles": k.max_block_cycles,
+                    },
+                }
+            )
+        for p in self.points:
+            events.append(
+                {
+                    "name": p.label,
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": p.cycle * us,
+                    "pid": 1,
+                    "tid": 0,
+                    "s": "g",
+                    "args": {"detail": p.detail},
+                }
+            )
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"stage {stage}"},
+            }
+            for stage, tid in tid_of.items()
+        ]
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({"traceEvents": meta + events}))
+        return out

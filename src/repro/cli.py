@@ -1,0 +1,213 @@
+"""Command-line runner mirroring the paper's artifact workflow.
+
+The artifact (Appendix A.4) operates in two modes:
+
+* **Single matrix** — run the framework for one matrix, optionally
+  confirming the result against a host (CPU) implementation;
+* **Complete testrun** — a ``runall`` script that calls the framework
+  for every matrix in a folder, producing a ``.csv`` with matrix
+  statistics and timing measurements.
+
+Usage::
+
+    python -m repro.cli single path/to/matrix.mtx [--verify] [--float]
+    python -m repro.cli runall path/to/folder --out results.csv
+    python -m repro.cli suite --out results.csv [--limit N]
+    python -m repro.cli compare path/to/matrix.mtx
+
+``suite`` runs the built-in synthetic collection instead of a folder of
+``.mtx`` files (useful offline); ``compare`` runs the full algorithm
+line-up on one matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .baselines import GPU_ALGORITHMS, make_algorithm
+from .core import AcSpgemmOptions, ac_spgemm
+from .sparse import (
+    count_intermediate_products,
+    load_matrix,
+    matrix_stats,
+    spgemm_reference,
+    squared_operands,
+)
+
+CSV_HEADERS = [
+    "matrix",
+    "rows",
+    "cols",
+    "nnz",
+    "avg_row_len",
+    "max_row_len",
+    "temp_products",
+    "nnz_c",
+    "sim_ms",
+    "gflops",
+    "chunks",
+    "shared_rows",
+    "restarts",
+    "verified",
+]
+
+
+def _run_one(name: str, matrix, *, dtype, verify: bool) -> dict:
+    a, b = squared_operands(matrix)
+    opts = AcSpgemmOptions(value_dtype=dtype)
+    result = ac_spgemm(a, b, opts)
+    temp = count_intermediate_products(a, b)
+    verified = ""
+    if verify:
+        ref = spgemm_reference(a.astype(dtype), b.astype(dtype))
+        verified = str(result.matrix.allclose(
+            ref, rtol=1e-4 if dtype == np.float32 else 1e-10
+        ))
+    st = matrix_stats(matrix)
+    return {
+        "matrix": name,
+        "rows": st.rows,
+        "cols": st.cols,
+        "nnz": st.nnz,
+        "avg_row_len": round(st.mean_row_length, 2),
+        "max_row_len": st.max_row_length,
+        "temp_products": temp,
+        "nnz_c": result.matrix.nnz,
+        "sim_ms": round(result.seconds * 1e3, 4),
+        "gflops": round(2.0 * temp / result.seconds / 1e9, 3)
+        if result.seconds
+        else 0.0,
+        "chunks": result.n_chunks,
+        "shared_rows": result.shared_rows,
+        "restarts": result.restarts,
+        "verified": verified,
+    }
+
+
+def _print_row(row: dict) -> None:
+    for k, v in row.items():
+        print(f"  {k:14s} {v}")
+
+
+def cmd_single(args) -> int:
+    """Run AC-SpGEMM on one matrix file, optionally CPU-verified."""
+    matrix = load_matrix(args.matrix)
+    dtype = np.float32 if args.float else np.float64
+    row = _run_one(Path(args.matrix).stem, matrix, dtype=dtype, verify=args.verify)
+    print(f"AC-SpGEMM on {args.matrix} "
+          f"({'single' if args.float else 'double'} precision):")
+    _print_row(row)
+    if args.verify and row["verified"] != "True":
+        print("VERIFICATION FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _write_rows(out: str | None, rows: list[dict]) -> None:
+    if not out:
+        return
+    with open(out, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_HEADERS)
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {len(rows)} rows to {out}")
+
+
+def cmd_runall(args) -> int:
+    """Run every .mtx/.npz matrix in a folder; failures are isolated."""
+    folder = Path(args.folder)
+    files = sorted(folder.glob("*.mtx")) + sorted(folder.glob("*.npz"))
+    if not files:
+        print(f"no .mtx/.npz matrices under {folder}", file=sys.stderr)
+        return 1
+    dtype = np.float32 if args.float else np.float64
+    rows = []
+    for f in files:
+        # each matrix is isolated: a failure must not impede the rest
+        # (the artifact runs each test as a separate process for this)
+        try:
+            rows.append(
+                _run_one(f.stem, load_matrix(f), dtype=dtype, verify=args.verify)
+            )
+            print(f"{f.stem}: {rows[-1]['gflops']} GFLOPS")
+        except Exception as exc:  # noqa: BLE001 - isolation by design
+            print(f"{f.stem}: FAILED ({exc})", file=sys.stderr)
+    _write_rows(args.out, rows)
+    return 0
+
+
+def cmd_suite(args) -> int:
+    """Run the built-in synthetic suite (no matrix files needed)."""
+    from .matrices import suite_entries
+
+    dtype = np.float32 if args.float else np.float64
+    rows = []
+    for e in suite_entries()[: args.limit]:
+        rows.append(_run_one(e.name, e.build(), dtype=dtype, verify=args.verify))
+        print(f"{e.name}: {rows[-1]['gflops']} GFLOPS")
+    _write_rows(args.out, rows)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run the full GPU algorithm line-up on one matrix."""
+    matrix = load_matrix(args.matrix)
+    a, b = squared_operands(matrix)
+    temp = count_intermediate_products(a, b)
+    dtype = np.float32 if args.float else np.float64
+    print(f"{args.matrix}: nnz={matrix.nnz}, temp={temp}")
+    results = {}
+    for name in GPU_ALGORITHMS:
+        run = make_algorithm(name).multiply(a, b, dtype=dtype)
+        results[name] = run
+        stable = "bit-stable" if run.bit_stable else "not bit-stable"
+        print(f"  {name:12s} {run.gflops(temp):8.3f} GFLOPS  ({stable})")
+    best = max(results, key=lambda k: results[k].gflops(temp))
+    print(f"fastest: {best}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AC-SpGEMM reproduction runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("single", help="run AC-SpGEMM on one matrix file")
+    p.add_argument("matrix")
+    p.add_argument("--verify", action="store_true",
+                   help="confirm against the CPU reference (artifact A.6)")
+    p.add_argument("--float", action="store_true", help="single precision")
+    p.set_defaults(func=cmd_single)
+
+    p = sub.add_parser("runall", help="run every matrix in a folder")
+    p.add_argument("folder")
+    p.add_argument("--out", default=None, help="CSV output path")
+    p.add_argument("--verify", action="store_true")
+    p.add_argument("--float", action="store_true")
+    p.set_defaults(func=cmd_runall)
+
+    p = sub.add_parser("suite", help="run the built-in synthetic suite")
+    p.add_argument("--out", default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--verify", action="store_true")
+    p.add_argument("--float", action="store_true")
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
+    p.add_argument("matrix")
+    p.add_argument("--float", action="store_true")
+    p.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""AC-SpGEMM — the paper's primary contribution (systems S5–S11).
+
+Public entry point: :func:`ac_spgemm`.
+"""
+
+from .acspgemm import AcSpgemmResult, MemoryReport, STAGE_KEYS, ac_spgemm
+from .chunks import Chunk, ChunkPool, PoolExhausted, RowChunkTracker
+from .compaction import (
+    CompactionResult,
+    ScanItem,
+    compact_sorted,
+    initial_state,
+    scan_operator,
+    sequential_compaction_scan,
+)
+from .esc import EscBlock, EscBlockOutcome
+from .estimate_sampling import sampled_chunk_pool_bytes, sampled_output_estimate
+from .load_balance import GlobalLoadBalance, global_load_balance
+from .long_rows import long_row_mask
+from .memory_estimate import estimate_chunk_pool_bytes, estimate_output_entries
+from .merge import MergeAssignment, MultiMergeBlock, assign_merges
+from .merge_path import PathMergeBlock
+from .merge_search import SearchMergeBlock
+from .options import AcSpgemmOptions, DEFAULT_OPTIONS
+from .work_distribution import LocalWorkDistribution
+
+__all__ = [
+    "AcSpgemmOptions",
+    "AcSpgemmResult",
+    "Chunk",
+    "ChunkPool",
+    "CompactionResult",
+    "DEFAULT_OPTIONS",
+    "EscBlock",
+    "EscBlockOutcome",
+    "GlobalLoadBalance",
+    "LocalWorkDistribution",
+    "MemoryReport",
+    "MergeAssignment",
+    "MultiMergeBlock",
+    "PathMergeBlock",
+    "PoolExhausted",
+    "RowChunkTracker",
+    "STAGE_KEYS",
+    "ScanItem",
+    "SearchMergeBlock",
+    "ac_spgemm",
+    "assign_merges",
+    "compact_sorted",
+    "estimate_chunk_pool_bytes",
+    "estimate_output_entries",
+    "global_load_balance",
+    "initial_state",
+    "long_row_mask",
+    "sampled_chunk_pool_bytes",
+    "sampled_output_estimate",
+    "scan_operator",
+    "sequential_compaction_scan",
+]

@@ -1,0 +1,337 @@
+"""AC-SpGEMM driver: the paper's four-stage pipeline (Figure 2).
+
+1. **Global load balancing** — static non-zero split of A (Algorithm 1).
+2. **Adaptive chunk-based ESC** — per-block multi-iteration local ESC
+   with chunk output and restart support.
+3. **Chunk merging** — Multi / Path / Search Merge of shared rows.
+4. **Output** — row-pointer prefix sum and parallel chunk copy.
+
+The driver also owns the chunk-pool estimate and the restart loop: when
+the pool is exhausted, affected blocks persist their restart state, the
+host grows the pool ("expanding the chunk pool is as easy as adding
+another memory region") and relaunches only the unfinished blocks.
+
+:func:`ac_spgemm` returns the result matrix together with the full cost
+accounting the evaluation section reports: per-stage simulated times
+(Figure 7), memory consumption (Table 3 / Figure 8), restart count and
+multiprocessor load (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.cost import CostMeter
+from ..gpu.counters import TrafficCounters
+from ..gpu.scheduler import KernelTiming, schedule_blocks
+from ..sparse.csr import CSRMatrix
+from ..sparse.validate import validate_csr
+from .chunks import ChunkPool, RowChunkTracker
+from .esc import EscBlock
+from .load_balance import global_load_balance
+from .memory_estimate import estimate_chunk_pool_bytes
+from .merge import MultiMergeBlock, assign_merges
+from .merge_path import PathMergeBlock
+from .merge_search import SearchMergeBlock
+from .options import AcSpgemmOptions, DEFAULT_OPTIONS
+from .output import build_row_pointer, copy_chunks
+
+__all__ = ["MemoryReport", "AcSpgemmResult", "ac_spgemm"]
+
+#: stage keys in Figure 7 order: global load balancing, AC-ESC, merge
+#: case assignment, multi merge, path merge, search merge, chunk copy
+STAGE_KEYS = ("GLB", "ESC", "MCC", "MM", "PM", "SM", "CC")
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Global memory consumption (Table 3 / Figure 8)."""
+
+    helper_bytes: int
+    chunk_pool_bytes: int
+    chunk_used_bytes: int
+    output_bytes: int
+
+    @property
+    def used_over_output(self) -> float:
+        """Chunk memory actually used relative to the output matrix
+        (Table 3 column "u/o"); near 1.0 means local ESC iterations
+        "essentially produce completed chunks of the output matrix"."""
+        if self.output_bytes == 0:
+            return 0.0
+        return self.chunk_used_bytes / self.output_bytes
+
+    @property
+    def used_fraction(self) -> float:
+        """Fraction of the allocated pool that was used (Table 3 "%")."""
+        if self.chunk_pool_bytes == 0:
+            return 0.0
+        return self.chunk_used_bytes / self.chunk_pool_bytes
+
+
+@dataclass
+class AcSpgemmResult:
+    """Output matrix plus the paper's full accounting."""
+
+    matrix: CSRMatrix
+    stage_cycles: dict[str, float]
+    counters: TrafficCounters
+    memory: MemoryReport
+    restarts: int
+    multiprocessor_load: float
+    n_chunks: int
+    n_blocks: int
+    clock_ghz: float
+    shared_rows: int = 0
+    merge_stats: dict[str, int] = field(default_factory=dict)
+    #: per-kernel execution trace (populated when
+    #: ``options.collect_trace`` is set — the artifact's Debug mode)
+    trace: object | None = None
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all stage makespans."""
+        return float(sum(self.stage_cycles.values()))
+
+    @property
+    def seconds(self) -> float:
+        """Simulated execution time."""
+        return self.total_cycles / (self.clock_ghz * 1e9)
+
+    def stage_fractions(self) -> dict[str, float]:
+        """Relative per-stage runtime (the bars of Figure 7)."""
+        total = self.total_cycles
+        if total == 0:
+            return {k: 0.0 for k in STAGE_KEYS}
+        return {k: v / total for k, v in self.stage_cycles.items()}
+
+
+def _device_wide_cycles(meter: CostMeter, num_sms: int) -> float:
+    """A device-wide pass parallelises perfectly over the SMs."""
+    return meter.cycles / num_sms
+
+
+def ac_spgemm(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    options: AcSpgemmOptions | None = None,
+) -> AcSpgemmResult:
+    """Compute ``C = A @ B`` with AC-SpGEMM on the simulated device.
+
+    Deterministic and bit-stable: repeated calls with the same inputs
+    and options produce byte-identical results.
+    """
+    opts = options or DEFAULT_OPTIONS
+    if a.cols != b.rows:
+        raise ValueError(
+            f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
+        )
+    if opts.validate_inputs:
+        validate_csr(a)
+        validate_csr(b)
+
+    cfg = opts.device
+    launch = opts.costs.kernel_launch_cycles
+    stage_cycles = {k: 0.0 for k in STAGE_KEYS}
+    counters = TrafficCounters()
+    min_mp_load = 1.0
+    trace = None
+    if opts.collect_trace:
+        from ..bench.trace import TraceRecorder
+
+        trace = TraceRecorder(clock_ghz=cfg.clock_ghz)
+
+    def track_timing(timing: KernelTiming) -> None:
+        nonlocal min_mp_load
+        if timing.n_blocks >= cfg.num_sms:
+            min_mp_load = min(min_mp_load, timing.multiprocessor_load)
+
+    # ---- stage 1: global load balancing --------------------------------
+    glb_meter = CostMeter(config=cfg, constants=opts.costs)
+    glb = global_load_balance(a, cfg.nnz_per_block_glb, glb_meter)
+    stage_cycles["GLB"] = _device_wide_cycles(glb_meter, cfg.num_sms) + launch
+    counters.merge(glb_meter.counters)
+    counters.kernel_launches += 1
+    if trace:
+        trace.record_span("GLB", stage_cycles["GLB"])
+
+    # ---- stage 2: AC-ESC with restart loop ------------------------------
+    pool_bytes = estimate_chunk_pool_bytes(a, b, opts)
+    pool = ChunkPool(capacity_bytes=pool_bytes)
+    tracker = RowChunkTracker(n_rows=a.rows)
+
+    blocks = [
+        EscBlock(block_id=i, a=a, b=b, glb=glb, options=opts)
+        for i in range(glb.n_blocks)
+    ]
+    pending = list(blocks)
+    restarts = 0
+    while pending:
+        round_cycles: list[float] = []
+        still_pending: list[EscBlock] = []
+        for blk in pending:
+            ctx = BlockContext(config=cfg, block_id=blk.block_id, constants=opts.costs)
+            outcome = blk.run(ctx, pool, tracker)
+            round_cycles.append(outcome.cycles)
+            counters.merge(ctx.meter.counters)
+            if not outcome.done:
+                still_pending.append(blk)
+        timing = schedule_blocks(round_cycles, cfg.num_sms, launch_overhead=launch)
+        stage_cycles["ESC"] += timing.makespan_cycles
+        counters.kernel_launches += 1
+        track_timing(timing)
+        if trace:
+            trace.record_kernel("ESC", timing, round_cycles)
+        if still_pending:
+            restarts += 1
+            if restarts > opts.max_restarts:
+                raise RuntimeError(
+                    f"chunk pool restart limit exceeded ({opts.max_restarts})"
+                )
+            growth = max(
+                int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
+                opts.device.elements_per_block * opts.element_bytes,
+            )
+            pool.grow(growth)
+            stage_cycles["ESC"] += opts.costs.host_round_trip_cycles
+            counters.host_round_trips += 1
+            if trace:
+                trace.record_point(
+                    "restart",
+                    detail=f"pool grown to {pool.capacity_bytes} B, "
+                    f"{len(still_pending)} blocks pending",
+                )
+                trace.record_span("ESC", opts.costs.host_round_trip_cycles)
+        pending = still_pending
+
+    # ---- stage 3: merging ------------------------------------------------
+    mcc_meter = CostMeter(config=cfg, constants=opts.costs)
+    assignment = assign_merges(tracker, opts, mcc_meter)
+    stage_cycles["MCC"] = _device_wide_cycles(mcc_meter, cfg.num_sms)
+    if assignment.n_shared_rows:
+        stage_cycles["MCC"] += launch
+        counters.kernel_launches += 1
+    counters.merge(mcc_meter.counters)
+    if trace:
+        trace.record_span("MCC", stage_cycles["MCC"])
+
+    merge_stats = {
+        "multi_merge_blocks": len(assignment.multi_groups),
+        "path_merge_rows": len(assignment.path_rows),
+        "search_merge_rows": len(assignment.search_rows),
+    }
+
+    def run_merge_kernel(stage: str, workers, run_one) -> None:
+        """Launch a merge kernel with its own restart loop."""
+        nonlocal restarts
+        pending_workers = list(workers)
+        if not pending_workers:
+            return
+        while pending_workers:
+            cycles: list[float] = []
+            still = []
+            for idx, w in enumerate(pending_workers):
+                ctx = BlockContext(config=cfg, block_id=idx, constants=opts.costs)
+                done = run_one(w, ctx)
+                cycles.append(ctx.meter.cycles)
+                counters.merge(ctx.meter.counters)
+                if not done:
+                    still.append(w)
+            timing = schedule_blocks(cycles, cfg.num_sms, launch_overhead=launch)
+            stage_cycles[stage] += timing.makespan_cycles
+            counters.kernel_launches += 1
+            track_timing(timing)
+            if trace:
+                trace.record_kernel(stage, timing, cycles)
+            if still:
+                restarts += 1
+                if restarts > opts.max_restarts:
+                    raise RuntimeError(
+                        f"chunk pool restart limit exceeded ({opts.max_restarts})"
+                    )
+                pool.grow(
+                    max(
+                        int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
+                        opts.device.elements_per_block * opts.element_bytes,
+                    )
+                )
+                stage_cycles[stage] += opts.costs.host_round_trip_cycles
+                counters.host_round_trips += 1
+            pending_workers = still
+
+    def run_multi(block: MultiMergeBlock, ctx: BlockContext) -> bool:
+        from .chunks import PoolExhausted
+
+        try:
+            block.run(ctx, tracker, pool, b, opts)
+            return True
+        except PoolExhausted:
+            return False  # Multi Merge restart starts from scratch (§3.3)
+
+    multi_blocks = [
+        MultiMergeBlock(block_index=i, rows=g)
+        for i, g in enumerate(assignment.multi_groups)
+    ]
+    run_merge_kernel("MM", multi_blocks, run_multi)
+
+    path_blocks = [
+        PathMergeBlock(block_index=i, row=r)
+        for i, r in enumerate(assignment.path_rows)
+    ]
+    run_merge_kernel(
+        "PM", path_blocks, lambda w, ctx: w.run(ctx, tracker, pool, b, opts)
+    )
+
+    search_blocks = [
+        SearchMergeBlock(block_index=i, row=r)
+        for i, r in enumerate(assignment.search_rows)
+    ]
+    run_merge_kernel(
+        "SM", search_blocks, lambda w, ctx: w.run(ctx, tracker, pool, b, opts)
+    )
+
+    # ---- stage 4: output matrix and chunk copy ---------------------------
+    out_meter = CostMeter(config=cfg, constants=opts.costs)
+    row_ptr = build_row_pointer(tracker, out_meter)
+    c, copy_cycles = copy_chunks(pool, tracker, row_ptr, b, opts, out_meter)
+    timing = schedule_blocks(copy_cycles, cfg.num_sms, launch_overhead=launch)
+    stage_cycles["CC"] = (
+        _device_wide_cycles(out_meter, cfg.num_sms) + timing.makespan_cycles
+    )
+    counters.merge(out_meter.counters)
+    counters.kernel_launches += 2  # row-pointer scan + copy
+    track_timing(timing)
+    if trace:
+        trace.record_span("CC", _device_wide_cycles(out_meter, cfg.num_sms))
+        trace.record_kernel("CC", timing, copy_cycles)
+
+    helper_bytes = (
+        glb.helper_bytes
+        + tracker.helper_bytes()
+        + 12 * glb.n_blocks  # per-block restart state
+        + 8 * len(pool.chunks)  # chunk pointer array
+    )
+    memory = MemoryReport(
+        helper_bytes=helper_bytes,
+        chunk_pool_bytes=pool.capacity_bytes,
+        chunk_used_bytes=pool.used_bytes,
+        output_bytes=c.nbytes(),
+    )
+
+    return AcSpgemmResult(
+        matrix=c,
+        stage_cycles=stage_cycles,
+        counters=counters,
+        memory=memory,
+        restarts=restarts,
+        multiprocessor_load=min_mp_load,
+        n_chunks=len(pool.chunks),
+        n_blocks=glb.n_blocks,
+        clock_ghz=cfg.clock_ghz,
+        shared_rows=assignment.n_shared_rows,
+        merge_stats=merge_stats,
+        trace=trace,
+    )

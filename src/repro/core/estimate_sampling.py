@@ -1,0 +1,93 @@
+"""Sampling-based chunk-pool estimate (§5 future work).
+
+The paper's conclusion names "reducing the overallocation of chunk
+memory" as an obvious improvement: the simplistic uniform estimate plus
+the 100 MB lower bound leaves most of the pool unused (Table 3 reports
+single-digit utilisation for many matrices).
+
+This module implements the natural refinement: estimate nnz(C) by
+running the *exact symbolic product for a row sample* — a cheap
+device-wide kernel that expands and counts distinct columns for ``k``
+sampled rows of A — and extrapolate.  Winning property: the sample is
+unbiased under row-permutation, so the estimate concentrates around the
+true nnz(C) instead of the uniform-collision model, letting the pool
+shrink by an order of magnitude with restarts as the safety net.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.cost import CostMeter
+from ..sparse.csr import CSRMatrix
+from .options import AcSpgemmOptions
+
+__all__ = ["sampled_output_estimate", "sampled_chunk_pool_bytes"]
+
+
+def sampled_output_estimate(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    sample_rows: int = 64,
+    seed: int = 0,
+    safety_factor: float = 1.3,
+    meter: CostMeter | None = None,
+) -> float:
+    """Estimate nnz(C) from an exact symbolic pass over sampled rows.
+
+    Sampling is deterministic for a fixed seed.  The cost (charged to
+    ``meter`` when given) is the symbolic expansion of the sampled rows
+    only — for a 64-row sample this is orders of magnitude below a full
+    inspection pass.
+    """
+    if a.rows == 0 or a.nnz == 0 or b.nnz == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    k = min(sample_rows, a.rows)
+    rows = rng.choice(a.rows, size=k, replace=False)
+    rows.sort()
+
+    sampled_nnz = 0
+    sampled_products = 0
+    for r in rows.tolist():
+        lo, hi = a.row_ptr[r], a.row_ptr[r + 1]
+        if hi == lo:
+            continue
+        cols_parts = []
+        for kcol in a.col_idx[lo:hi].tolist():
+            blo, bhi = b.row_ptr[kcol], b.row_ptr[kcol + 1]
+            cols_parts.append(b.col_idx[blo:bhi])
+        if cols_parts:
+            merged = np.concatenate(cols_parts)
+            sampled_products += merged.shape[0]
+            sampled_nnz += np.unique(merged).shape[0]
+    if meter is not None:
+        meter.global_read(sampled_products, 4)
+        meter.hash_probe(sampled_products, in_scratchpad=True)
+        meter.kernel_launch()
+    return safety_factor * sampled_nnz * (a.rows / k)
+
+
+def sampled_chunk_pool_bytes(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    options: AcSpgemmOptions,
+    *,
+    sample_rows: int = 64,
+    seed: int = 0,
+    lower_bound_bytes: int = 4 * 1024 * 1024,
+    meter: CostMeter | None = None,
+) -> int:
+    """Pool size from the sampled estimate — the drop-in alternative to
+    :func:`repro.core.memory_estimate.estimate_chunk_pool_bytes`.
+
+    The lower bound shrinks from the paper's 100 MB to 4 MB because the
+    sampled estimate tracks the actual output; restarts absorb the
+    (rare) underestimates.
+    """
+    entries = sampled_output_estimate(
+        a, b, sample_rows=sample_rows, seed=seed, meter=meter
+    )
+    raw = int(entries * options.element_bytes * options.chunk_meta_factor)
+    return max(raw, lower_bound_bytes)

@@ -1,0 +1,25 @@
+"""Long-row policy (§3.4).
+
+A row of B whose length exceeds the block's ESC capacity would be
+loaded, sorted and written back without any compaction benefit (a sorted
+row multiplied by a scalar is already an ESC result).  Such rows are
+detected during Fetch A and diverted into *pointer chunks* that
+reference B's data plus the scale factor from A; the products never
+enter the work distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .options import AcSpgemmOptions
+
+__all__ = ["long_row_mask"]
+
+
+def long_row_mask(b_lengths: np.ndarray, options: AcSpgemmOptions) -> np.ndarray:
+    """Boolean mask over a block's A-entries: True where the referenced
+    B row is handled by a pointer chunk instead of local ESC."""
+    if not options.enable_long_row_handling:
+        return np.zeros(b_lengths.shape[0], dtype=bool)
+    return b_lengths > options.effective_long_row_threshold

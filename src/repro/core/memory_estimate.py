@@ -1,0 +1,48 @@
+"""Chunk-pool sizing (§4).
+
+"For the initial chunk pool, we rely on a simplistic memory estimate S
+of C, using the average row length as a measure of row overlaps ...  For
+A of size nA x mA, the average row length is given by a = |A| / nA, and
+the estimated probability for a collision is pa = a / mA.  For the
+product AB, the memory estimate is given as
+S ≈ nA · b · (1 − (1 − pb)^a) / pb.  We multiply this factor by 1.2 to
+account for the chunk meta data and divergences from the average row
+length and apply a lower bound of 100 MB."
+
+Note ``b / pb = mB``: the estimate is the expected number of distinct
+columns hit per output row under a uniform-sparsity model, times the
+number of rows.
+"""
+
+from __future__ import annotations
+
+from ..sparse.csr import CSRMatrix
+from .options import AcSpgemmOptions
+
+__all__ = ["estimate_output_entries", "estimate_chunk_pool_bytes"]
+
+
+def estimate_output_entries(a: CSRMatrix, b: CSRMatrix) -> float:
+    """The paper's estimate S of nnz(C) for C = A @ B."""
+    if a.rows == 0 or a.nnz == 0 or b.nnz == 0 or b.cols == 0:
+        return 0.0
+    avg_a = a.nnz / a.rows
+    avg_b = b.nnz / b.rows
+    p_b = avg_b / b.cols
+    if p_b <= 0.0:
+        return 0.0
+    if p_b >= 1.0:
+        return float(a.rows * b.cols)
+    return a.rows * avg_b * (1.0 - (1.0 - p_b) ** avg_a) / p_b
+
+
+def estimate_chunk_pool_bytes(
+    a: CSRMatrix, b: CSRMatrix, options: AcSpgemmOptions
+) -> int:
+    """Initial chunk pool size: S entries (column id + value bytes),
+    scaled by the meta-data factor, with the configured lower bound."""
+    if options.chunk_pool_bytes is not None:
+        return options.chunk_pool_bytes
+    entries = estimate_output_entries(a, b)
+    raw = int(entries * options.element_bytes * options.chunk_meta_factor)
+    return max(raw, options.chunk_pool_lower_bound_bytes)

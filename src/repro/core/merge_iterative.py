@@ -1,0 +1,175 @@
+"""Shared machinery of Search Merge and Path Merge (§3.3).
+
+Both algorithms merge one long shared row iteratively: each iteration
+picks a column threshold such that all remaining elements with column id
+at or below it — across *all* chunks — fit one block, runs the ESC steps
+on that slice and emits a new chunk.  Taking every duplicate of each
+emitted column guarantees the emitted chunks of a row have disjoint,
+ascending column ranges, so no further merging is needed.
+
+The two algorithms differ only in how the threshold is found (the
+``_choose_threshold`` hook): Search Merge binary-searches the global
+column range, Path Merge samples entry positions of each chunk.  Both
+support restarts: the per-chunk cursors persist across pool-exhaustion
+round trips, so resuming "equals sampling a reduced range".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..sparse.csr import CSRMatrix
+from .chunks import Chunk, ChunkPool, PoolExhausted, RowChunkTracker
+from .merge import MERGE_BLOCK_SEQ_BASE, esc_merge_batch, gather_row_segments
+from .options import AcSpgemmOptions
+
+__all__ = ["IterativeRowMerge"]
+
+
+@dataclass
+class IterativeRowMerge:
+    """Base class: restartable merge of one shared row."""
+
+    #: disambiguates order keys between merge kinds (class constant)
+    KIND_OFFSET = 0
+
+    block_index: int
+    row: int
+
+    def __post_init__(self) -> None:
+        self._cols: list[np.ndarray] | None = None
+        self._vals: list[np.ndarray] | None = None
+        self._cursors: list[int] = []
+        self._produced: list[Chunk] = []
+        self._offset = 0
+        self._emit_seq = 0
+        self.done = False
+        self.attempts = 0
+
+    # -- hook -----------------------------------------------------------
+
+    def _choose_threshold(
+        self,
+        ctx: BlockContext,
+        remaining_cols: list[np.ndarray],
+        capacity: int,
+    ) -> int:
+        """Return a column threshold T with
+        ``0 < sum_i count(cols_i <= T) <= capacity``."""
+        raise NotImplementedError
+
+    # -- common helpers ---------------------------------------------------
+
+    @staticmethod
+    def _counts_for(remaining_cols: list[np.ndarray], threshold: int) -> np.ndarray:
+        return np.asarray(
+            [int(np.searchsorted(c, threshold, side="right")) for c in remaining_cols],
+            dtype=np.int64,
+        )
+
+    def _order_key(self) -> tuple[int, int]:
+        return (
+            MERGE_BLOCK_SEQ_BASE + type(self).KIND_OFFSET + self.block_index,
+            self._emit_seq,
+        )
+
+    # -- driver entry ------------------------------------------------------
+
+    def run(
+        self,
+        ctx: BlockContext,
+        tracker: RowChunkTracker,
+        pool: ChunkPool,
+        b: CSRMatrix,
+        options: AcSpgemmOptions,
+    ) -> bool:
+        """Merge until done or the pool is exhausted.
+
+        Returns True when the row is fully merged; False requests a
+        restart (pool growth) with all cursors preserved.
+        """
+        self.attempts += 1
+        meter = ctx.meter
+        capacity = options.device.elements_per_block
+
+        if self._cols is None:
+            segs = gather_row_segments(
+                self.row, tracker, b, options, meter, materialize_cost=False
+            )
+            self._cols = segs.cols
+            self._vals = segs.vals
+            self._cursors = [0] * len(segs.cols)
+
+        while True:
+            remaining_cols = [
+                c[cur:] for c, cur in zip(self._cols, self._cursors)
+            ]
+            total = sum(c.shape[0] for c in remaining_cols)
+            if total == 0:
+                tracker.replace_row(self.row, list(self._produced), self._offset)
+                meter.atomic(1)
+                self.done = True
+                return True
+
+            if total <= capacity:
+                take = np.asarray(
+                    [c.shape[0] for c in remaining_cols], dtype=np.int64
+                )
+            else:
+                threshold = self._choose_threshold(ctx, remaining_cols, capacity)
+                take = self._counts_for(remaining_cols, threshold)
+                taken_total = int(take.sum())
+                if taken_total == 0 or taken_total > capacity:
+                    raise AssertionError(
+                        "threshold selection violated the capacity contract"
+                    )
+
+            cols_parts = [
+                c[:t] for c, t in zip(remaining_cols, take.tolist()) if t
+            ]
+            vals_parts = [
+                v[cur : cur + t]
+                for v, cur, t in zip(self._vals, self._cursors, take.tolist())
+                if t
+            ]
+            cols = np.concatenate(cols_parts)
+            vals = np.concatenate(vals_parts)
+            meter.global_read(cols.shape[0], options.element_bytes)
+
+            comp, comp_cols = esc_merge_batch(
+                ctx,
+                np.zeros(cols.shape[0], dtype=np.int64),
+                cols,
+                vals,
+                options,
+                1,
+            )
+            chunk = Chunk(
+                order_key=self._order_key(),
+                kind="data",
+                first_row=self.row,
+                last_row=self.row,
+                rows=np.full(comp.n, self.row, dtype=np.int64),
+                cols=comp_cols,
+                vals=comp.values,
+                segment_offsets={self.row: self._offset},
+            )
+            nbytes = pool.data_bytes(
+                comp.n, options.value_dtype.itemsize, options.col_index_bytes
+            )
+            try:
+                pool.allocate(chunk, nbytes, meter)
+            except PoolExhausted:
+                return False  # cursors untouched: resume after growth
+            meter.scratchpad(2 * comp.n)
+            meter.global_write(comp.n, options.element_bytes)
+            meter.global_write(1, 32)
+            self._emit_seq += 1
+            self._offset += comp.n
+            self._produced.append(chunk)
+            self._cursors = [
+                cur + int(t) for cur, t in zip(self._cursors, take.tolist())
+            ]

@@ -1,0 +1,104 @@
+"""Path Merge (§3.3): bounded-chunk-count row merging.
+
+"Path Merge avoids global memory binary search by placing samples
+uniformly over the entries of every chunk.  For each sample we fetch the
+column id and sort them across the entire block, while carrying the
+sample number along with the sort.  Next, we perform a custom scan over
+the sorted data to find the correspondences between samples from
+different chunks, i.e., identify possible paths through all chunks. ...
+For each path, we compute the number of temporary elements from the
+combined sample locations and chunk sizes.  Choose the one that fits
+into memory, we run AC-ESC.  The stored paths are again used for the
+next iteration."
+
+Sampling entry *positions* adapts to skewed column distributions (dense
+clusters produce dense samples), and the block-wide sample sort replaces
+per-thread global binary searches — that is the cost difference from
+Search Merge modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from ..gpu.radix import bits_required, radix_sort_permutation
+from .merge_iterative import IterativeRowMerge
+
+__all__ = ["PathMergeBlock"]
+
+
+@dataclass
+class PathMergeBlock(IterativeRowMerge):
+    """One Path Merge block: one shared row, few chunks."""
+
+    KIND_OFFSET = 1 << 20
+
+    def _choose_threshold(
+        self,
+        ctx: BlockContext,
+        remaining_cols: list[np.ndarray],
+        capacity: int,
+    ) -> int:
+        meter = ctx.meter
+        threads = ctx.config.threads_per_block
+        n_chunks = len(remaining_cols)
+        per_chunk = max(1, threads // max(1, n_chunks))
+
+        # uniform sample positions over every chunk's remaining entries
+        sample_cols_parts: list[np.ndarray] = []
+        sample_pos_parts: list[np.ndarray] = []
+        sample_chunk_parts: list[np.ndarray] = []
+        for i, c in enumerate(remaining_cols):
+            if c.shape[0] == 0:
+                continue
+            k = min(per_chunk, c.shape[0])
+            pos = np.linspace(0, c.shape[0] - 1, k).astype(np.int64)
+            pos = np.unique(pos)
+            sample_cols_parts.append(c[pos])
+            sample_pos_parts.append(pos)
+            sample_chunk_parts.append(np.full(pos.shape[0], i, dtype=np.int64))
+        sample_cols = np.concatenate(sample_cols_parts)
+        sample_pos = np.concatenate(sample_pos_parts)
+        sample_chunk = np.concatenate(sample_chunk_parts)
+        meter.global_read(sample_cols.shape[0], 4, coalesced=False)
+
+        # block-wide sort of the samples, carrying (chunk, position)
+        col_bits = bits_required(int(sample_cols.max(initial=0)))
+        perm = radix_sort_permutation(meter, sample_cols.astype(np.uint64), col_bits)
+        s_cols = sample_cols[perm]
+        s_pos = sample_pos[perm]
+        s_chunk = sample_chunk[perm]
+
+        # the max-scan over per-chunk sample numbers: after sorting, the
+        # path at sample j cuts chunk i at the latest of i's samples seen
+        # so far (position+1 elements), zero if none seen yet.
+        cut = np.full((s_cols.shape[0], n_chunks), -1, dtype=np.int64)
+        cut[np.arange(s_cols.shape[0]), s_chunk] = s_pos
+        np.maximum.accumulate(cut, axis=0, out=cut)
+        meter.scan(s_cols.shape[0])
+
+        path_counts = (cut + 1).sum(axis=1)
+        viable_idx = np.nonzero((path_counts > 0) & (path_counts <= capacity))[0]
+        # walk viable sampled paths from the largest down, refining each
+        # to an exact column cut: every element <= the sample's column
+        # must come along (duplicates of the threshold column in other
+        # chunks are required for correct compaction)
+        meter.scratchpad(2 * n_chunks)
+        for j in viable_idx[::-1].tolist():
+            candidate = int(s_cols[j])
+            exact = int(self._counts_for(remaining_cols, candidate).sum())
+            if 0 < exact <= capacity:
+                return candidate
+        # sampling too coarse (even the smallest sampled path overflows
+        # after refinement): fall back to the smallest column, which has
+        # at most one duplicate per chunk
+        lo = min(int(c[0]) for c in remaining_cols if c.shape[0])
+        count = int(self._counts_for(remaining_cols, lo).sum())
+        if not 0 < count <= capacity:
+            raise AssertionError(
+                "Path Merge cannot cut: smallest column exceeds capacity"
+            )
+        return lo

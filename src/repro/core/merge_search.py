@@ -1,0 +1,96 @@
+"""Search Merge (§3.3): arbitrary-chunk-count row merging.
+
+"Search Merge uses binary search sampling in all chunk column ids to
+find overlapping ranges that can be handled at once.  At first, we
+compute the minimum and maximum column id over all involved chunks.
+Then, we uniformly sample this range ... Using binary search, every
+thread finds the next higher column id in all chunks and computes the
+sum over all elements that are below across all chunks.  The thread with
+the largest sum that still fits into the available resources, delivers
+the data to be merged. ... In case the sampling is too coarse we
+sub-sample the range."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from .merge_iterative import IterativeRowMerge
+
+__all__ = ["SearchMergeBlock"]
+
+
+@dataclass
+class SearchMergeBlock(IterativeRowMerge):
+    """One Search Merge block: one shared row, any number of chunks."""
+
+    KIND_OFFSET = 2 << 20
+
+    def _choose_threshold(
+        self,
+        ctx: BlockContext,
+        remaining_cols: list[np.ndarray],
+        capacity: int,
+    ) -> int:
+        meter = ctx.meter
+        threads = ctx.config.threads_per_block
+
+        # min/max column id over all chunks' remaining elements: the
+        # runs are sorted, so only first/last entries are read.
+        lo = min(int(c[0]) for c in remaining_cols if c.shape[0])
+        hi = max(int(c[-1]) for c in remaining_cols if c.shape[0])
+        meter.global_read(2 * len(remaining_cols), 4, coalesced=False)
+
+        total_len = sum(c.shape[0] for c in remaining_cols)
+        search_depth = max(1, int(np.ceil(np.log2(max(2, total_len)))))
+
+        while True:
+            if lo >= hi:
+                # single-column range: all duplicates of `lo` must be
+                # taken together, and there is at most one per chunk.
+                count = int(self._counts_for(remaining_cols, lo).sum())
+                if not 0 < count <= capacity:
+                    raise AssertionError(
+                        "Search Merge cannot cut: single-column range "
+                        f"holds {count} elements for capacity {capacity}"
+                    )
+                return lo
+            # one sample per thread, uniformly over [lo, hi]
+            step = max(1, (hi - lo) // threads)
+            samples = np.arange(lo + step, hi + 1, step, dtype=np.int64)
+            if samples.shape[0] == 0 or samples[-1] != hi:
+                samples = np.append(samples, hi)
+            # every thread binary-searches each chunk; the search
+            # frontiers of all threads traverse the same O(log n) upper
+            # tree levels, which stay cache resident — so the dominant
+            # cost is the comparison work, with one fresh line per
+            # (sample, chunk) leaf probe
+            meter.alu(
+                int(samples.shape[0] * len(remaining_cols) * search_depth * 4)
+            )
+            meter.global_read(samples.shape[0] * len(remaining_cols), 4)
+            counts = np.zeros(samples.shape[0], dtype=np.int64)
+            for c in remaining_cols:
+                counts += np.searchsorted(c, samples, side="right")
+            meter.scan(samples.shape[0])
+
+            viable = (counts > 0) & (counts <= capacity)
+            if viable.any():
+                return int(samples[np.nonzero(viable)[0][-1]])
+
+            # No sample fits: the count jumps past the capacity between
+            # two samples.  counts[-1] == total > capacity, so an
+            # overflowing sample exists; sub-sample the gap before it.
+            j = int(np.nonzero(counts > capacity)[0][0])
+            new_hi = int(samples[j]) - 1
+            new_lo = int(samples[j - 1]) + 1 if j > 0 else lo
+            if new_hi < new_lo:
+                # a single column holds more duplicates than a block can
+                # take — impossible while chunk count <= block capacity
+                raise AssertionError(
+                    "Search Merge cannot cut: one column exceeds capacity"
+                )
+            lo, hi = new_lo, new_hi

@@ -1,0 +1,122 @@
+"""Configuration of the AC-SpGEMM pipeline.
+
+Defaults follow §4 of the paper: 256 threads per block, 256 non-zeros of
+A per block for global load balancing, 8 sort elements per thread, up to
+4 kept elements per thread, a chunk-pool estimate multiplied by 1.2 with
+a 100 MB lower bound.  Every design choice called out in the paper is an
+explicit switch here so the ablation benches can toggle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..gpu.config import DeviceConfig, TITAN_XP
+from ..gpu.cost import CostConstants, DEFAULT_COSTS
+
+__all__ = ["AcSpgemmOptions", "DEFAULT_OPTIONS"]
+
+
+@dataclass(frozen=True)
+class AcSpgemmOptions:
+    """Tunable parameters and ablation switches for AC-SpGEMM.
+
+    Attributes
+    ----------
+    device:
+        Simulated device and kernel geometry.
+    value_dtype:
+        float32 or float64 (the paper evaluates both).
+    enable_bit_reduction:
+        Dynamic sort-key bit reduction from min/max tracking (§3.2.3).
+        Disabling it sorts full-width keys — the ablation shows the cost.
+    enable_keep_last_row:
+        Carry the last (incomplete) row between local ESC iterations
+        instead of spilling it to a chunk (§3.2.3).  Disabling forces a
+        chunk write per iteration, increasing merge work — the behaviour
+        of prior local-ESC approaches [7].
+    enable_long_row_handling:
+        Emit pointer chunks for B rows longer than ``long_row_threshold``
+        instead of pushing them through ESC (§3.4).
+    long_row_threshold:
+        Entries above which a B row is "long".  ``None`` uses the block
+        capacity (a row that cannot fit one ESC iteration).
+    chunk_pool_bytes:
+        Explicit initial chunk pool size; ``None`` uses the paper's
+        estimate (§4, reproduced in :mod:`repro.core.memory_estimate`).
+    chunk_pool_lower_bound_bytes:
+        The paper applies a 100 MB lower bound.  Unit tests shrink this
+        to exercise restarts on small inputs.
+    chunk_meta_factor:
+        Multiplier on the estimate "to account for the chunk meta data
+        and divergences from the average row length" (§4).
+    pool_growth_factor:
+        Pool growth on each restart round trip.
+    max_restarts:
+        Safety valve against pathological growth loops.
+    multi_merge_max_chunks:
+        Rows covered by at most this many chunks (and fitting one block)
+        are handled by Multi Merge; the paper uses 2.
+    path_merge_max_chunks:
+        Rows with chunk counts in ``(multi_merge_max_chunks, this]`` use
+        Path Merge ("applicable up to a predefined number of chunks");
+        beyond it Search Merge ("can handle an arbitrary number").
+    """
+
+    device: DeviceConfig = TITAN_XP
+    costs: CostConstants = DEFAULT_COSTS
+    value_dtype: np.dtype = np.dtype(np.float64)
+    enable_bit_reduction: bool = True
+    enable_keep_last_row: bool = True
+    enable_long_row_handling: bool = True
+    long_row_threshold: int | None = None
+    chunk_pool_bytes: int | None = None
+    chunk_pool_lower_bound_bytes: int = 100 * 1024 * 1024
+    chunk_meta_factor: float = 1.2
+    pool_growth_factor: float = 2.0
+    max_restarts: int = 256
+    multi_merge_max_chunks: int = 2
+    path_merge_max_chunks: int = 8
+    validate_inputs: bool = True
+    col_index_bytes: int = 4  # 32-bit column ids, as in the CUDA artifact
+    #: collect a per-kernel execution trace (the artifact's Debug mode);
+    #: the trace is attached to the result as ``result.trace``
+    collect_trace: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
+        if self.value_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("value_dtype must be float32 or float64")
+        if self.multi_merge_max_chunks < 2:
+            raise ValueError("multi_merge_max_chunks must be at least 2")
+        if self.path_merge_max_chunks < self.multi_merge_max_chunks:
+            raise ValueError(
+                "path_merge_max_chunks must be >= multi_merge_max_chunks"
+            )
+        if self.chunk_meta_factor < 1.0:
+            raise ValueError("chunk_meta_factor must be >= 1.0")
+        if self.pool_growth_factor <= 1.0:
+            raise ValueError("pool_growth_factor must exceed 1.0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+
+    @property
+    def effective_long_row_threshold(self) -> int:
+        """The configured threshold, or the block's ESC capacity."""
+        if self.long_row_threshold is not None:
+            return self.long_row_threshold
+        return self.device.elements_per_block
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes of one stored (column id, value) pair."""
+        return self.col_index_bytes + self.value_dtype.itemsize
+
+    def with_(self, **kwargs) -> "AcSpgemmOptions":
+        """Copy with replaced fields (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_OPTIONS = AcSpgemmOptions()

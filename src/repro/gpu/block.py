@@ -1,0 +1,41 @@
+"""Execution context of one simulated thread block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import DeviceConfig
+from .cost import CostConstants, CostMeter, DEFAULT_COSTS
+from .memory import Scratchpad
+
+__all__ = ["BlockContext"]
+
+
+@dataclass
+class BlockContext:
+    """Everything one thread block sees while executing a kernel.
+
+    The meter accumulates the block's cycles (fed to the scheduler for
+    the makespan) and its traffic counters (merged device-wide).  The
+    scratchpad enforces the on-chip capacity for this block's layout.
+    """
+
+    config: DeviceConfig
+    block_id: int
+    constants: CostConstants = field(default=DEFAULT_COSTS)
+    meter: CostMeter = field(init=False)
+    scratchpad: Scratchpad = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.meter = CostMeter(config=self.config, constants=self.constants)
+        self.scratchpad = Scratchpad.for_device(self.config)
+
+    @property
+    def threads(self) -> int:
+        """Threads in this block."""
+        return self.config.threads_per_block
+
+    @property
+    def cycles(self) -> float:
+        """Cycles charged by this block so far."""
+        return self.meter.cycles

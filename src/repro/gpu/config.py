@@ -1,0 +1,112 @@
+"""Simulated GPU device description.
+
+The paper's test platform is an NVIDIA Titan Xp (compute capability 6.1):
+30 streaming multiprocessors (SMs), 48 KiB scratchpad ("shared") memory
+per thread block, 32-lane warps, ~1.58 GHz boost clock.  The defaults
+below mirror those numbers so capacity-driven behaviour (how many
+temporary products fit in scratchpad, when AC-ESC must spill to chunks)
+matches the published configuration: with 256 threads and 8 elements per
+thread a block holds 2048 temporaries — the "up to 4000 temporary
+elements" head-room discussed in §3 for 512-thread blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceConfig", "TITAN_XP", "SMALL_DEVICE"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static parameters of the simulated device and kernel launch.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors; blocks are scheduled across these.
+    warp_size:
+        SIMD width; memory coalescing and instruction costs are charged
+        per warp-wide operation.
+    clock_ghz:
+        Core clock used to convert model cycles into simulated seconds.
+    scratchpad_bytes:
+        On-chip scratchpad available to one thread block.  Allocations
+        beyond this raise — the simulator enforces the same hard limit
+        that shapes the paper's algorithm.
+    threads_per_block:
+        Threads in one block (the paper uses 256).
+    nnz_per_thread:
+        Elements sorted per thread in local ESC ("sorts 8 elements per
+        thread", §4).
+    keep_per_thread:
+        Elements retained from one ESC iteration to the next ("keeps up
+        to 4 elements per thread", §4).
+    nnz_per_block_glb:
+        Non-zeros of A assigned to each block by global load balancing
+        ("block size of 256/512 non-zeros", §4).
+    global_transaction_bytes:
+        Bytes served by one coalesced global-memory transaction.
+    """
+
+    num_sms: int = 30
+    warp_size: int = 32
+    clock_ghz: float = 1.582
+    scratchpad_bytes: int = 48 * 1024
+    threads_per_block: int = 256
+    nnz_per_thread: int = 8
+    keep_per_thread: int = 4
+    nnz_per_block_glb: int = 256
+    global_transaction_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError("warp_size must be a positive power of two")
+        if self.threads_per_block % self.warp_size:
+            raise ValueError("threads_per_block must be a multiple of warp_size")
+        if self.nnz_per_thread <= 0 or self.keep_per_thread < 0:
+            raise ValueError("per-thread element counts must be positive")
+        if self.keep_per_thread >= self.nnz_per_thread:
+            raise ValueError(
+                "keep_per_thread must be smaller than nnz_per_thread "
+                "(otherwise local ESC can never drain the work distribution)"
+            )
+        if self.nnz_per_block_glb <= 0:
+            raise ValueError("nnz_per_block_glb must be positive")
+
+    @property
+    def elements_per_block(self) -> int:
+        """Temporary products processed by one local ESC iteration."""
+        return self.threads_per_block * self.nnz_per_thread
+
+    @property
+    def keep_elements(self) -> int:
+        """Maximum temporaries carried over between ESC iterations."""
+        return self.threads_per_block * self.keep_per_thread
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per thread block."""
+        return self.threads_per_block // self.warp_size
+
+    def with_(self, **kwargs) -> "DeviceConfig":
+        """Copy with replaced fields (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's evaluation GPU.
+TITAN_XP = DeviceConfig()
+
+#: A scaled-down device for fast unit tests: tiny blocks force many ESC
+#: iterations, chunk spills, merges and restarts on small matrices, so
+#: tests exercise every code path cheaply.
+SMALL_DEVICE = DeviceConfig(
+    num_sms=4,
+    threads_per_block=32,
+    nnz_per_thread=4,
+    keep_per_thread=2,
+    nnz_per_block_glb=16,
+    scratchpad_bytes=8 * 1024,
+)

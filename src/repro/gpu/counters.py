@@ -1,0 +1,78 @@
+"""Work and traffic counters for the simulated device.
+
+Every algorithm (AC-SpGEMM and all baselines) charges its work through
+these counters; the cost model converts them into cycles.  Keeping the
+raw counts separate from the cycle conversion makes the accounting
+auditable: a bench can report "bytes moved through global memory" or
+"radix passes executed" independently of the calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["TrafficCounters", "AtomicCounter"]
+
+
+@dataclass
+class TrafficCounters:
+    """Raw operation counts accumulated during a simulated execution."""
+
+    global_bytes_read: int = 0
+    global_bytes_written: int = 0
+    global_transactions: int = 0
+    scratchpad_accesses: int = 0
+    atomic_ops: int = 0
+    sorted_elements: int = 0
+    sort_passes: int = 0
+    flops: int = 0
+    kernel_launches: int = 0
+    host_round_trips: int = 0
+    hash_probes: int = 0
+    hash_collisions: int = 0
+
+    def merge(self, other: "TrafficCounters") -> None:
+        """Accumulate another counter set into this one, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter values as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+@dataclass
+class AtomicCounter:
+    """A device-global atomic counter (bump allocation, list heads).
+
+    The simulator executes blocks deterministically, so atomics are just
+    integers — but routing every increment through this class lets the
+    cost model charge atomic-operation latency and lets tests assert on
+    contention counts.
+    """
+
+    value: int = 0
+    operations: int = field(default=0, repr=False)
+
+    def fetch_add(self, amount: int) -> int:
+        """Atomically add ``amount``; return the previous value."""
+        old = self.value
+        self.value += amount
+        self.operations += 1
+        return old
+
+    def exchange(self, new: int) -> int:
+        """Atomically replace the value; return the previous value."""
+        old = self.value
+        self.value = new
+        self.operations += 1
+        return old
+
+    def load(self) -> int:
+        """Read the current value."""
+        return self.value

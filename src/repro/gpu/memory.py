@@ -1,0 +1,122 @@
+"""Simulated device memory: per-block scratchpad and global allocations.
+
+The scratchpad enforces the hard on-chip capacity that shapes AC-SpGEMM
+(§3: "Considering register sizes of current GPUs and reasonably small
+thread block sizes, up to 4000 temporary elements can be held").  Global
+allocations are tracked so Table 3 / Figure 8 (memory consumption) can be
+reproduced exactly as "helper", "chunk pool" and "used" byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import DeviceConfig
+
+__all__ = ["ScratchpadOverflow", "Scratchpad", "DeviceAllocationTracker"]
+
+
+class ScratchpadOverflow(MemoryError):
+    """A block requested more scratchpad than the device provides."""
+
+
+@dataclass
+class Scratchpad:
+    """Named-allocation scratchpad with a hard byte capacity.
+
+    Algorithms declare their scratchpad layout up front (as a CUDA kernel
+    does statically); the simulator rejects layouts that exceed the
+    device capacity instead of silently using more memory — this is what
+    keeps the Python reproduction honest about on-chip residency.
+    """
+
+    capacity_bytes: int
+    allocations: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def for_device(cls, config: DeviceConfig) -> "Scratchpad":
+        """A scratchpad with the device's per-block capacity."""
+        return cls(capacity_bytes=config.scratchpad_bytes)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity_bytes - self.used_bytes
+
+    def alloc(self, name: str, n_bytes: int) -> None:
+        """Reserve ``n_bytes`` under ``name``; raises on overflow."""
+        if n_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self.allocations:
+            raise ValueError(f"scratchpad allocation {name!r} already exists")
+        if self.used_bytes + n_bytes > self.capacity_bytes:
+            raise ScratchpadOverflow(
+                f"scratchpad overflow: {name!r} needs {n_bytes} B but only "
+                f"{self.free_bytes} of {self.capacity_bytes} B remain "
+                f"(existing: {self.allocations})"
+            )
+        self.allocations[name] = n_bytes
+
+    def alloc_array(self, name: str, n_elements: int, element_bytes: int) -> None:
+        """Reserve an ``n_elements`` array of ``element_bytes`` items."""
+        self.alloc(name, n_elements * element_bytes)
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        try:
+            del self.allocations[name]
+        except KeyError:
+            raise KeyError(f"no scratchpad allocation named {name!r}") from None
+
+    def reset(self) -> None:
+        """Drop every allocation (block retirement)."""
+        self.allocations.clear()
+
+
+@dataclass
+class DeviceAllocationTracker:
+    """Tracks global-memory allocations by category.
+
+    Categories used by the benches: ``"helper"`` (load-balancing arrays,
+    list heads, restart state, ...), ``"chunk_pool"`` and ``"output"``.
+    ``used`` bytes within the chunk pool are recorded separately by the
+    pool itself.
+    """
+
+    allocated: dict[str, int] = field(default_factory=dict)
+    peak: dict[str, int] = field(default_factory=dict)
+
+    def alloc(self, category: str, n_bytes: int) -> None:
+        """Record a global allocation under ``category``."""
+        if n_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        new = self.allocated.get(category, 0) + n_bytes
+        self.allocated[category] = new
+        if new > self.peak.get(category, 0):
+            self.peak[category] = new
+
+    def free(self, category: str, n_bytes: int) -> None:
+        """Record a release from ``category``."""
+        cur = self.allocated.get(category, 0)
+        if n_bytes > cur:
+            raise ValueError(
+                f"freeing {n_bytes} B from {category!r} which holds {cur} B"
+            )
+        self.allocated[category] = cur - n_bytes
+
+    def total_allocated(self) -> int:
+        """Currently allocated bytes across categories."""
+        return sum(self.allocated.values())
+
+    def peak_total(self) -> int:
+        """Sum of per-category allocation peaks."""
+        return sum(self.peak.values())
+
+    def bytes_of(self, category: str) -> int:
+        """Peak bytes of one category."""
+        return self.peak.get(category, 0)

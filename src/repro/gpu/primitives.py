@@ -1,0 +1,92 @@
+"""Block-wide cooperative primitives (the CUB analogue, §3.2 [21]).
+
+All primitives operate on numpy arrays representing the lanes of one
+thread block, charge their cost to a :class:`~repro.gpu.cost.CostMeter`,
+and are deterministic: the same input always produces the same output,
+which is the foundation of the paper's bit-stability guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cost import CostMeter
+
+__all__ = [
+    "inclusive_prefix_sum",
+    "exclusive_prefix_sum",
+    "inclusive_max_scan",
+    "blocked_to_striped",
+    "striped_to_blocked",
+    "block_reduce_minmax",
+]
+
+
+def inclusive_prefix_sum(meter: CostMeter, values: np.ndarray) -> np.ndarray:
+    """Block-wide inclusive sum scan."""
+    meter.scan(values.shape[0])
+    return np.cumsum(values)
+
+
+def exclusive_prefix_sum(
+    meter: CostMeter, values: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Block-wide exclusive sum scan; returns ``(scan, total)``."""
+    meter.scan(values.shape[0])
+    inc = np.cumsum(values)
+    total = int(inc[-1]) if inc.shape[0] else 0
+    out = np.empty_like(inc)
+    if out.shape[0]:
+        out[0] = 0
+        out[1:] = inc[:-1]
+    return out, total
+
+
+def inclusive_max_scan(meter: CostMeter, values: np.ndarray) -> np.ndarray:
+    """Block-wide inclusive maximum scan (Algorithm 2, line 24)."""
+    meter.scan(values.shape[0])
+    return np.maximum.accumulate(values)
+
+
+def blocked_to_striped(
+    meter: CostMeter, values: np.ndarray, threads: int, per_thread: int
+) -> np.ndarray:
+    """Layout exchange from *blocked* (thread t owns a contiguous run of
+    ``per_thread`` items) to *striped* (thread t owns items ``t``,
+    ``t + threads``, ...), via scratchpad (Algorithm 2, line 25).
+
+    Ensures coalesced loads when each lane subsequently fetches its
+    assigned element from global memory.
+    """
+    n = threads * per_thread
+    if values.shape[0] != n:
+        raise ValueError(
+            f"blocked_to_striped expects {n} values "
+            f"({threads} threads x {per_thread}), got {values.shape[0]}"
+        )
+    meter.scratchpad(2 * n)  # one write + one read per element
+    return values.reshape(threads, per_thread).T.reshape(-1)
+
+
+def striped_to_blocked(
+    meter: CostMeter, values: np.ndarray, threads: int, per_thread: int
+) -> np.ndarray:
+    """Inverse of :func:`blocked_to_striped`."""
+    n = threads * per_thread
+    if values.shape[0] != n:
+        raise ValueError(
+            f"striped_to_blocked expects {n} values, got {values.shape[0]}"
+        )
+    meter.scratchpad(2 * n)
+    return values.reshape(per_thread, threads).T.reshape(-1)
+
+
+def block_reduce_minmax(
+    meter: CostMeter, values: np.ndarray
+) -> tuple[int, int]:
+    """Block-wide (min, max) reduction — used for the dynamic sort-bit
+    reduction over fetched column ids (§3.2.3)."""
+    if values.shape[0] == 0:
+        raise ValueError("cannot reduce an empty array")
+    meter.scan(values.shape[0])  # tree reduction ~ scan cost
+    return int(values.min()), int(values.max())

@@ -1,0 +1,41 @@
+"""Synthetic matrix generators, the Table 2 named collection and the
+SuiteSparse-like benchmark suite (system S18 of DESIGN.md)."""
+
+from .collection import NAMED_COLLECTION, NamedMatrix, PaperStats, build, names
+from .generators import (
+    banded,
+    bipartite_design,
+    block_dense,
+    diagonal_dominant,
+    long_row_matrix,
+    lp_matrix,
+    power_law,
+    random_uniform,
+    road_network,
+    stencil_2d,
+    stencil_3d,
+)
+from .suite import SuiteEntry, build_suite, iter_suite, suite_entries
+
+__all__ = [
+    "NAMED_COLLECTION",
+    "NamedMatrix",
+    "PaperStats",
+    "SuiteEntry",
+    "banded",
+    "bipartite_design",
+    "block_dense",
+    "build",
+    "build_suite",
+    "diagonal_dominant",
+    "iter_suite",
+    "long_row_matrix",
+    "lp_matrix",
+    "names",
+    "power_law",
+    "random_uniform",
+    "road_network",
+    "stencil_2d",
+    "stencil_3d",
+    "suite_entries",
+]

@@ -1,0 +1,157 @@
+"""Named synthetic analogues of the paper's Table 2 matrices.
+
+SuiteSparse is not downloadable in this environment, so each of the 16
+matrices the paper discusses individually (Figures 6–8, Tables 2–3) is
+replaced by a generator configured to reproduce its *regime*: structure
+class, average/maximum row length, squareness and compaction behaviour,
+scaled down so a full multi-algorithm sweep stays tractable in the
+simulator.  The original Table 2 statistics are attached to every entry
+so benches can print paper-vs-analogue side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sparse.csr import CSRMatrix
+from . import generators as g
+
+__all__ = ["PaperStats", "NamedMatrix", "NAMED_COLLECTION", "build", "names"]
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Row of Table 2 (counts in absolute units, lengths as reported)."""
+
+    rows: float
+    cols: float
+    nnz: float
+    a_len: float
+    a_max: float
+    c_nnz: float
+    c_len: float
+    c_max: float
+    temp: float  # intermediate products
+
+    @property
+    def compaction(self) -> float:
+        """Temporary products per output non-zero."""
+        return self.temp / self.c_nnz if self.c_nnz else 0.0
+
+
+@dataclass(frozen=True)
+class NamedMatrix:
+    """A Table 2 matrix and its synthetic stand-in."""
+
+    name: str
+    family: str
+    paper: PaperStats
+    builder: Callable[[], CSRMatrix] = field(repr=False)
+
+    def build(self) -> CSRMatrix:
+        """Materialise the synthetic analogue."""
+        return self.builder()
+
+
+def _m(x: float) -> float:
+    return x * 1e6
+
+
+#: The 16 matrices of Table 2, in the paper's order.  ``family``
+#: documents which structural regime the analogue reproduces.
+NAMED_COLLECTION: tuple[NamedMatrix, ...] = (
+    NamedMatrix(
+        "language", "graph / few long rows",
+        PaperStats(_m(0.40), _m(0.40), _m(1.22), 3.0, 11.5e3, _m(4.61), 11.6, 32.0e3, _m(5.5)),
+        lambda: g.long_row_matrix(12000, 2.6, n_long_rows=3, long_row_len=3000, seed=101),
+    ),
+    NamedMatrix(
+        "scircuit", "circuit (diagonal + random)",
+        PaperStats(_m(0.17), _m(0.17), _m(0.96), 5.6, 353, _m(5.22), 30.5, 1.9e3, _m(8.7)),
+        lambda: g.diagonal_dominant(9000, 4.6, seed=102),
+    ),
+    NamedMatrix(
+        "stat96v2", "linear programming (non-square)",
+        PaperStats(_m(0.03), _m(0.96), _m(2.85), 98.1, 3.2e3, _m(0.35), 12.1, 1.6e3, _m(8.7)),
+        lambda: g.lp_matrix(450, 14000, 98.0, seed=103),
+    ),
+    NamedMatrix(
+        "poisson3Da", "3-D FEM",
+        PaperStats(_m(0.01), _m(0.01), _m(0.35), 26.1, 110, _m(2.96), 218.8, 584, _m(11.8)),
+        lambda: g.banded(2600, 13, seed=104, fill=0.97),
+    ),
+    NamedMatrix(
+        "144", "FEM graph",
+        PaperStats(_m(0.14), _m(0.14), _m(2.15), 14.9, 26, _m(10.42), 72.0, 116, _m(33.0)),
+        lambda: g.banded(6000, 7, seed=105, fill=0.99),
+    ),
+    NamedMatrix(
+        "asia_osm", "road network",
+        PaperStats(_m(11.95), _m(11.95), _m(25.42), 2.1, 9, _m(42.75), 3.6, 24, _m(56.9)),
+        lambda: g.road_network(40000, seed=106),
+    ),
+    NamedMatrix(
+        "webbase-1M", "web graph / power law",
+        PaperStats(_m(1.00), _m(1.00), _m(3.11), 3.1, 4.7e3, _m(51.11), 51.1, 12.4e3, _m(69.5)),
+        lambda: g.power_law(22000, 3.1, max_row_len=4000, seed=107),
+    ),
+    NamedMatrix(
+        "atmosmodl", "3-D stencil",
+        PaperStats(_m(1.49), _m(1.49), _m(10.32), 6.9, 7, _m(36.49), 24.5, 25, _m(71.6)),
+        lambda: g.stencil_3d(26, seed=108),
+    ),
+    NamedMatrix(
+        "filter3D", "3-D FEM (denser)",
+        PaperStats(_m(0.11), _m(0.11), _m(2.71), 25.4, 112, _m(20.16), 189.4, 550, _m(86.0)),
+        lambda: g.banded(2200, 13, seed=109, fill=0.95),
+    ),
+    NamedMatrix(
+        "bibd_19_9", "combinatorial design (very long rows)",
+        PaperStats(171, 92378, _m(3.3), 19.4e3, 19.4e3, _m(0.03), 171.0, 171, _m(119.7)),
+        lambda: g.bipartite_design(60, 9000, 1900, seed=110),
+    ),
+    NamedMatrix(
+        "TSOPF_RS_b2383", "power flow (local dense blocks)",
+        PaperStats(_m(0.04), _m(0.04), _m(16.17), 424.2, 983, _m(74.32), 1.9e3, 3.3e3, _m(128.0)),
+        lambda: g.block_dense(600, 115, n_blocks=3, seed=111, background_avg=2.0),
+    ),
+    NamedMatrix(
+        "hugebubbles-00020", "uniform mesh (huge, tiny rows)",
+        PaperStats(_m(21.20), _m(21.20), _m(63.58), 3.0, 3, _m(132.69), 6.3, 7, _m(190.7)),
+        lambda: g.banded(60000, 1, seed=112),
+    ),
+    NamedMatrix(
+        "cant", "FEM cantilever (dense bands)",
+        PaperStats(_m(0.06), _m(0.06), _m(4.01), 64.2, 78, _m(17.44), 279.3, 375, _m(269.5)),
+        lambda: g.banded(900, 32, seed=113, fill=0.98),
+    ),
+    NamedMatrix(
+        "landmark", "tall-skinny least squares",
+        PaperStats(_m(0.07), 2.7e3, _m(1.15), 16.0, 16, _m(101.82), 1.4e3, 1.6e3, _m(549.2)),
+        lambda: g.bipartite_design(400, 50, 20, seed=114),
+    ),
+    NamedMatrix(
+        "hood", "FEM shell",
+        PaperStats(_m(0.22), _m(0.22), _m(10.77), 48.8, 77, _m(34.24), 155.3, 231, _m(562.0)),
+        lambda: g.banded(1100, 24, seed=115, fill=0.99),
+    ),
+    NamedMatrix(
+        "TSC_OPF_1047", "power flow (extreme compaction)",
+        PaperStats(_m(0.01), _m(0.01), _m(2.02), 247.8, 1.5e3, _m(8.83), 1.1e3, 3.5e3, _m(1352.4)),
+        lambda: g.block_dense(500, 140, n_blocks=2, seed=116, background_avg=1.0),
+    ),
+)
+
+
+def names() -> list[str]:
+    """Table 2 names in the paper's order."""
+    return [m.name for m in NAMED_COLLECTION]
+
+
+def build(name: str) -> CSRMatrix:
+    """Build a named analogue by its Table 2 name."""
+    for m in NAMED_COLLECTION:
+        if m.name == name:
+            return m.build()
+    raise KeyError(f"unknown named matrix {name!r}; available: {names()}")

@@ -1,0 +1,267 @@
+"""Synthetic sparse matrix generators.
+
+The paper benchmarks the SuiteSparse collection; without network access
+we synthesise matrices whose *statistics* — average/max row length,
+dimensions, structure class (stencil, graph, LP, design, block-dense,
+road network, power law) — span the same regimes.  All generators are
+seeded and deterministic.
+
+Every generator returns canonical CSR with values in (0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "random_uniform",
+    "banded",
+    "stencil_2d",
+    "stencil_3d",
+    "power_law",
+    "road_network",
+    "block_dense",
+    "long_row_matrix",
+    "bipartite_design",
+    "lp_matrix",
+    "diagonal_dominant",
+]
+
+_I = np.int64
+
+
+def _coo_to_csr(rows, cols, vals, n_rows, n_cols) -> CSRMatrix:
+    return COOMatrix(
+        rows=n_rows,
+        cols=n_cols,
+        row_idx=np.asarray(rows, dtype=_I),
+        col_idx=np.asarray(cols, dtype=_I),
+        values=np.asarray(vals, dtype=np.float64),
+    ).to_csr()
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Strictly positive values (no accidental explicit zeros)."""
+    return rng.random(n) * 0.999 + 0.001
+
+
+def random_uniform(
+    rows: int, cols: int, avg_row_len: float, seed: int = 0
+) -> CSRMatrix:
+    """Erdős–Rényi-style matrix: each row draws ~Poisson(avg) distinct
+    columns uniformly.  The workhorse for sweeping average row length."""
+    rng = np.random.default_rng(seed)
+    lengths = np.minimum(rng.poisson(avg_row_len, size=rows), cols)
+    total = int(lengths.sum())
+    r = np.repeat(np.arange(rows, dtype=_I), lengths)
+    c = rng.integers(0, cols, size=total, dtype=_I)
+    return _coo_to_csr(r, c, _values(rng, total), rows, cols)
+
+
+def banded(n: int, bandwidth: int, seed: int = 0, fill: float = 1.0) -> CSRMatrix:
+    """Banded matrix (1-D FEM / tridiagonal-family structure)."""
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_parts, cols_parts = [], []
+    for off in offsets:
+        rr = np.arange(max(0, -off), min(n, n - off), dtype=_I)
+        if fill < 1.0:
+            keep = rng.random(rr.shape[0]) < fill
+            rr = rr[keep]
+        rows_parts.append(rr)
+        cols_parts.append(rr + off)
+    r = np.concatenate(rows_parts)
+    c = np.concatenate(cols_parts)
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def stencil_2d(side: int, seed: int = 0) -> CSRMatrix:
+    """5-point Laplacian stencil on a side x side grid (poisson-like)."""
+    n = side * side
+    idx = np.arange(n, dtype=_I)
+    x, y = idx % side, idx // side
+    rows = [idx]
+    cols = [idx]
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ok = (0 <= x + dx) & (x + dx < side) & (0 <= y + dy) & (y + dy < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + dx + dy * side)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    rng = np.random.default_rng(seed)
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def stencil_3d(side: int, seed: int = 0) -> CSRMatrix:
+    """7-point stencil on a side^3 grid (atmosmodl-like)."""
+    n = side**3
+    idx = np.arange(n, dtype=_I)
+    x = idx % side
+    y = (idx // side) % side
+    z = idx // (side * side)
+    rows = [idx]
+    cols = [idx]
+    for d, coord in ((1, x), (-1, x)):
+        ok = (0 <= coord + d) & (coord + d < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + d)
+    for d, coord in ((1, y), (-1, y)):
+        ok = (0 <= coord + d) & (coord + d < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + d * side)
+    for d, coord in ((1, z), (-1, z)):
+        ok = (0 <= coord + d) & (coord + d < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + d * side * side)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    rng = np.random.default_rng(seed)
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def power_law(
+    n: int,
+    avg_row_len: float,
+    exponent: float = 2.1,
+    max_row_len: int | None = None,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Scale-free matrix: row lengths follow a truncated power law and
+    columns are drawn preferentially (web graphs, webbase-like).  A few
+    hub rows become the paper's "individual long rows"."""
+    rng = np.random.default_rng(seed)
+    if max_row_len is None:
+        max_row_len = n
+    # Zipf-ish row lengths rescaled to the target average
+    raw = rng.zipf(exponent, size=n).astype(np.float64)
+    raw = np.minimum(raw, max_row_len)
+    lengths = np.minimum(
+        np.maximum(1, (raw * (avg_row_len / raw.mean())).astype(_I)), max_row_len
+    )
+    lengths = np.minimum(lengths, n)
+    total = int(lengths.sum())
+    r = np.repeat(np.arange(n, dtype=_I), lengths)
+    # preferential column attachment: square a uniform to bias low ids
+    c = (rng.random(total) ** 2 * n).astype(_I)
+    return _coo_to_csr(r, c, _values(rng, total), n, n)
+
+
+def road_network(n: int, seed: int = 0) -> CSRMatrix:
+    """Near-planar graph with degree ~2-3 (asia_osm / hugebubbles-like):
+    a long path plus sparse chords to nearby nodes."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n - 1, dtype=_I)
+    rows = [idx, idx + 1]
+    cols = [idx + 1, idx]
+    n_chords = n // 3
+    src = rng.integers(0, n, size=n_chords, dtype=_I)
+    dst = np.minimum(n - 1, src + rng.integers(2, 50, size=n_chords))
+    rows += [src, dst]
+    cols += [dst, src]
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def block_dense(
+    n: int, block_size: int, n_blocks: int | None = None, seed: int = 0,
+    background_avg: float = 2.0,
+) -> CSRMatrix:
+    """Sparse background with locally dense square blocks on the
+    diagonal (TSOPF / power-flow structure: very long average rows)."""
+    rng = np.random.default_rng(seed)
+    if n_blocks is None:
+        n_blocks = max(1, n // (4 * block_size))
+    rows_parts, cols_parts = [], []
+    starts = rng.choice(max(1, n - block_size), size=n_blocks, replace=False)
+    for s in np.sort(starts):
+        local = np.arange(s, min(n, s + block_size), dtype=_I)
+        rr = np.repeat(local, local.shape[0])
+        cc = np.tile(local, local.shape[0])
+        keep = rng.random(rr.shape[0]) < 0.8
+        rows_parts.append(rr[keep])
+        cols_parts.append(cc[keep])
+    bg = random_uniform(n, n, background_avg, seed=seed + 1)
+    from ..sparse.coo import COOMatrix as _C
+
+    bg_coo = _C.from_csr(bg)
+    r = np.concatenate(rows_parts + [bg_coo.row_idx])
+    c = np.concatenate(cols_parts + [bg_coo.col_idx])
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def long_row_matrix(
+    n: int,
+    avg_row_len: float,
+    n_long_rows: int,
+    long_row_len: int,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Very sparse matrix with a few extremely long rows (the regime of
+    the paper's best-case speedups: ``language``, ``webbase-1M``)."""
+    rng = np.random.default_rng(seed)
+    base = random_uniform(n, n, avg_row_len, seed=seed)
+    long_rows = rng.choice(n, size=n_long_rows, replace=False).astype(_I)
+    r_extra = np.repeat(long_rows, min(long_row_len, n))
+    c_extra = np.concatenate(
+        [
+            rng.choice(n, size=min(long_row_len, n), replace=False)
+            for _ in range(n_long_rows)
+        ]
+    ).astype(_I)
+    from ..sparse.coo import COOMatrix as _C
+
+    base_coo = _C.from_csr(base)
+    r = np.concatenate([base_coo.row_idx, r_extra])
+    c = np.concatenate([base_coo.col_idx, c_extra])
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def bipartite_design(
+    rows: int, cols: int, row_len: int, seed: int = 0
+) -> CSRMatrix:
+    """Few rows, many columns, every row equally long (bibd-like
+    combinatorial design; multiplied as A @ A.T in the benchmark)."""
+    rng = np.random.default_rng(seed)
+    row_len = min(row_len, cols)
+    c = np.concatenate(
+        [rng.choice(cols, size=row_len, replace=False) for _ in range(rows)]
+    ).astype(_I)
+    r = np.repeat(np.arange(rows, dtype=_I), row_len)
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), rows, cols)
+
+
+def lp_matrix(
+    rows: int, cols: int, avg_row_len: float, seed: int = 0
+) -> CSRMatrix:
+    """Non-square linear-programming constraint matrix (stat96v2-like):
+    wide, with moderately long structured rows."""
+    rng = np.random.default_rng(seed)
+    lengths = np.minimum(
+        np.maximum(1, rng.poisson(avg_row_len, size=rows)), cols
+    )
+    total = int(lengths.sum())
+    r = np.repeat(np.arange(rows, dtype=_I), lengths)
+    # block-structured columns: each row concentrates in a random window
+    centers = rng.integers(0, cols, size=rows)
+    spread = np.maximum(8, (4 * avg_row_len)).astype(int)
+    c = (
+        np.repeat(centers, lengths)
+        + rng.integers(-spread, spread + 1, size=total)
+    ) % cols
+    return _coo_to_csr(r, c.astype(_I), _values(rng, total), rows, cols)
+
+
+def diagonal_dominant(n: int, avg_off: float, seed: int = 0) -> CSRMatrix:
+    """Diagonal plus random off-diagonals (circuit simulation style)."""
+    rng = np.random.default_rng(seed)
+    base = random_uniform(n, n, avg_off, seed=seed)
+    from ..sparse.coo import COOMatrix as _C
+
+    coo = _C.from_csr(base)
+    r = np.concatenate([coo.row_idx, np.arange(n, dtype=_I)])
+    c = np.concatenate([coo.col_idx, np.arange(n, dtype=_I)])
+    return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)

@@ -1,0 +1,286 @@
+"""The synthetic benchmark suite: a SuiteSparse-like population.
+
+The paper evaluates ~1800 matrices spanning average row lengths from
+~1 to ~400 (Figure 1), 80% of which are "highly sparse" (a <= 42).  The
+suite below mirrors that population with ~150 seeded synthetic matrices
+drawn from all generator families, with the same 80/20 sparse/dense
+split and a wide spread of intermediate-product counts (the x-axis of
+Figure 5), scaled so a full multi-algorithm sweep runs in minutes in the
+simulator.
+
+Matrices are described lazily (:class:`SuiteEntry`) and built on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from . import generators as g
+
+__all__ = ["SuiteEntry", "suite_entries", "build_suite", "iter_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """A lazily built suite matrix."""
+
+    name: str
+    family: str
+    builder: Callable[[], CSRMatrix] = field(repr=False)
+
+    def build(self) -> CSRMatrix:
+        """Materialise the suite matrix."""
+        return self.builder()
+
+
+def _uniform_entries() -> list[SuiteEntry]:
+    """Erdős–Rényi sweep over average row length.
+
+    Sparse entries (a <= 32) keep intermediate products ~n * a^2 inside a
+    small budget; the dense entries (a > 42) use *large* n so that — as
+    in the paper's dense population — the column range per block stays
+    wide and hashing's per-product advantage shows.
+    """
+    out = []
+    for i, avg in enumerate((1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32)):
+        for j, budget in enumerate((6e4, 1.5e5, 3e5)):
+            n = int(np.clip(budget / (avg * avg), 200, 30000))
+            if n <= 4 * avg:
+                continue
+            out.append(
+                SuiteEntry(
+                    f"uniform-a{avg}-{j}",
+                    "uniform",
+                    lambda n=n, avg=avg, s=1000 + i * 10 + j: g.random_uniform(
+                        n, n, avg, seed=s
+                    ),
+                )
+            )
+    for i, (avg, n) in enumerate(
+        (
+            (48, 800),
+            (52, 1200),
+            (56, 900),
+            (60, 1500),
+            (64, 1100),
+            (72, 1300),
+            (80, 800),
+            (96, 700),
+        )
+    ):
+        out.append(
+            SuiteEntry(
+                f"uniform-a{avg}-dense",
+                "uniform",
+                lambda n=n, avg=avg, s=1500 + i: g.random_uniform(
+                    n, n, avg, seed=s
+                ),
+            )
+        )
+    return out
+
+
+def _banded_entries() -> list[SuiteEntry]:
+    out = []
+    for i, bw in enumerate((1, 2, 4, 8, 16)):
+        budget = 4e5
+        n = int(np.clip(budget / ((2 * bw + 1) ** 2), 300, 60000))
+        out.append(
+            SuiteEntry(
+                f"banded-bw{bw}",
+                "fem-banded",
+                lambda n=n, bw=bw, s=2000 + i: g.banded(n, bw, seed=s, fill=0.98),
+            )
+        )
+    # dense FEM bands (the cant/hood regime): sized so the product work
+    # dominates launch overheads
+    for i, (bw, n) in enumerate(((24, 1100), (32, 800))):
+        out.append(
+            SuiteEntry(
+                f"banded-bw{bw}",
+                "fem-banded",
+                lambda n=n, bw=bw, s=2100 + i: g.banded(n, bw, seed=s, fill=0.98),
+            )
+        )
+    return out
+
+
+def _stencil_entries() -> list[SuiteEntry]:
+    out = []
+    for i, side in enumerate((40, 80, 140, 200)):
+        out.append(
+            SuiteEntry(
+                f"grid2d-{side}",
+                "stencil",
+                lambda side=side, s=3000 + i: g.stencil_2d(side, seed=s),
+            )
+        )
+    for i, side in enumerate((12, 18, 26, 34)):
+        out.append(
+            SuiteEntry(
+                f"grid3d-{side}",
+                "stencil",
+                lambda side=side, s=3100 + i: g.stencil_3d(side, seed=s),
+            )
+        )
+    return out
+
+
+def _power_law_entries() -> list[SuiteEntry]:
+    out = []
+    for i, (n, avg) in enumerate(
+        (
+            (4000, 2.5),
+            (8000, 3),
+            (15000, 3.5),
+            (6000, 6),
+            (3000, 10),
+            (2000, 20),
+            (10000, 2.2),
+            (5000, 4.5),
+            (2500, 15),
+        )
+    ):
+        out.append(
+            SuiteEntry(
+                f"powerlaw-n{n}-a{avg}",
+                "power-law",
+                lambda n=n, avg=avg, s=4000 + i: g.power_law(
+                    n, avg, max_row_len=max(200, n // 12), seed=s
+                ),
+            )
+        )
+    return out
+
+
+def _road_entries() -> list[SuiteEntry]:
+    return [
+        SuiteEntry(
+            f"road-{n}",
+            "road",
+            lambda n=n, s=5000 + i: g.road_network(n, seed=s),
+        )
+        for i, n in enumerate((5000, 15000, 40000, 80000, 25000, 60000))
+    ]
+
+
+def _block_entries() -> list[SuiteEntry]:
+    out = []
+    for i, (n, bs, nb) in enumerate(
+        ((1200, 40, 6), (900, 80, 3), (600, 120, 2), (2000, 25, 10))
+    ):
+        out.append(
+            SuiteEntry(
+                f"blockdense-{n}-{bs}",
+                "block-dense",
+                lambda n=n, bs=bs, nb=nb, s=6000 + i: g.block_dense(
+                    n, bs, n_blocks=nb, seed=s
+                ),
+            )
+        )
+    return out
+
+
+def _lp_entries() -> list[SuiteEntry]:
+    out = []
+    for i, (r, c, avg) in enumerate(
+        ((500, 8000, 40), (300, 15000, 90), (1500, 6000, 15), (800, 4000, 25))
+    ):
+        out.append(
+            SuiteEntry(
+                f"lp-{r}x{c}",
+                "lp",
+                lambda r=r, c=c, avg=avg, s=7000 + i: g.lp_matrix(r, c, avg, seed=s),
+            )
+        )
+    return out
+
+
+def _design_entries() -> list[SuiteEntry]:
+    out = []
+    for i, (r, c, length) in enumerate(
+        ((60, 6000, 1200), (120, 4000, 500), (400, 2000, 60))
+    ):
+        out.append(
+            SuiteEntry(
+                f"design-{r}x{c}",
+                "design",
+                lambda r=r, c=c, length=length, s=8000 + i: g.bipartite_design(
+                    r, c, length, seed=s
+                ),
+            )
+        )
+    return out
+
+
+def _long_row_entries() -> list[SuiteEntry]:
+    out = []
+    for i, (n, avg, nl, ll) in enumerate(
+        ((8000, 2.5, 2, 600), (15000, 3, 4, 400), (5000, 4, 1, 1500))
+    ):
+        out.append(
+            SuiteEntry(
+                f"longrow-{n}-{nl}",
+                "long-row",
+                lambda n=n, avg=avg, nl=nl, ll=ll, s=9000 + i: g.long_row_matrix(
+                    n, avg, n_long_rows=nl, long_row_len=ll, seed=s
+                ),
+            )
+        )
+    return out
+
+
+def _diagonal_entries() -> list[SuiteEntry]:
+    return [
+        SuiteEntry(
+            f"circuit-{n}",
+            "circuit",
+            lambda n=n, avg=avg, s=9500 + i: g.diagonal_dominant(n, avg, seed=s),
+        )
+        for i, (n, avg) in enumerate(((4000, 3), (10000, 5), (2500, 9)))
+    ]
+
+
+def suite_entries(families: set[str] | None = None) -> list[SuiteEntry]:
+    """All suite descriptors (optionally filtered by family), with
+    deterministic naming and seeding."""
+    entries = (
+        _uniform_entries()
+        + _banded_entries()
+        + _stencil_entries()
+        + _power_law_entries()
+        + _road_entries()
+        + _block_entries()
+        + _lp_entries()
+        + _design_entries()
+        + _long_row_entries()
+        + _diagonal_entries()
+    )
+    if families is not None:
+        entries = [e for e in entries if e.family in families]
+    return entries
+
+
+def build_suite(
+    families: set[str] | None = None, limit: int | None = None
+) -> list[tuple[str, CSRMatrix]]:
+    """Materialise the suite (or a prefix of it)."""
+    entries = suite_entries(families)
+    if limit is not None:
+        entries = entries[:limit]
+    return [(e.name, e.build()) for e in entries]
+
+
+def iter_suite(
+    families: set[str] | None = None, limit: int | None = None
+) -> Iterator[tuple[SuiteEntry, CSRMatrix]]:
+    """Yield ``(entry, matrix)`` pairs lazily."""
+    entries = suite_entries(families)
+    if limit is not None:
+        entries = entries[:limit]
+    for e in entries:
+        yield e, e.build()

@@ -1,0 +1,118 @@
+"""Coordinate (COO) sparse matrix container.
+
+Matrix Market files are coordinate lists, and the paper's artifact
+converts COO to CSR on load (Appendix A.4: "Conversion operators are
+provided ... convert the COO format to CSR if required").  This module is
+that conversion substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+_INDEX_DTYPE = np.int64
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix as parallel ``(row, col, value)`` triplet arrays.
+
+    Duplicate coordinates are allowed; conversion to CSR sums them,
+    matching the usual Matrix Market semantics for symmetric expansions.
+    """
+
+    rows: int
+    cols: int
+    row_idx: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = int(self.rows)
+        self.cols = int(self.cols)
+        self.row_idx = np.ascontiguousarray(self.row_idx, dtype=_INDEX_DTYPE)
+        self.col_idx = np.ascontiguousarray(self.col_idx, dtype=_INDEX_DTYPE)
+        self.values = np.ascontiguousarray(self.values)
+        if not (
+            self.row_idx.shape == self.col_idx.shape == self.values.shape
+        ):
+            raise ValueError("row_idx, col_idx and values must have equal length")
+        if self.row_idx.ndim != 1:
+            raise ValueError("triplet arrays must be one-dimensional")
+        if self.nnz:
+            if self.row_idx.min(initial=0) < 0 or self.col_idx.min(initial=0) < 0:
+                raise ValueError("negative indices in COO triplets")
+            if self.row_idx.max(initial=-1) >= self.rows:
+                raise ValueError("row index out of range")
+            if self.col_idx.max(initial=-1) >= self.cols:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets."""
+        return int(self.values.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, cols)."""
+        return (self.rows, self.cols)
+
+    def to_csr(self, *, sum_duplicates: bool = True) -> CSRMatrix:
+        """Convert to CSR, sorting by (row, col) and summing duplicates.
+
+        The sort is stable so that for duplicate coordinates the
+        accumulation order equals the triplet order — this keeps the
+        conversion deterministic (bit-stable) for a fixed input file.
+        """
+        if self.nnz == 0:
+            return CSRMatrix.empty(self.rows, self.cols, dtype=self.values.dtype)
+        order = np.lexsort((self.col_idx, self.row_idx))
+        r = self.row_idx[order]
+        c = self.col_idx[order]
+        v = self.values[order]
+        if sum_duplicates:
+            # boundaries where (row, col) changes
+            new_group = np.empty(r.shape[0], dtype=bool)
+            new_group[0] = True
+            np.not_equal(r[1:], r[:-1], out=new_group[1:])
+            np.logical_or(new_group[1:], c[1:] != c[:-1], out=new_group[1:])
+            group_id = np.cumsum(new_group) - 1
+            n_groups = int(group_id[-1]) + 1
+            out_v = np.zeros(n_groups, dtype=v.dtype)
+            np.add.at(out_v, group_id, v)
+            first = np.nonzero(new_group)[0]
+            r, c, v = r[first], c[first], out_v
+        row_counts = np.bincount(r, minlength=self.rows)
+        row_ptr = np.zeros(self.rows + 1, dtype=_INDEX_DTYPE)
+        np.cumsum(row_counts, out=row_ptr[1:])
+        return CSRMatrix(
+            rows=self.rows, cols=self.cols, row_ptr=row_ptr, col_idx=c, values=v
+        )
+
+    @classmethod
+    def from_csr(cls, m: CSRMatrix) -> "COOMatrix":
+        """Expand a CSR matrix into triplets (CSR order preserved)."""
+        row_idx = np.repeat(np.arange(m.rows, dtype=_INDEX_DTYPE), m.row_lengths())
+        return cls(
+            rows=m.rows,
+            cols=m.cols,
+            row_idx=row_idx,
+            col_idx=m.col_idx.copy(),
+            values=m.values.copy(),
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Swap the roles of rows and columns (O(1), views swapped)."""
+        return COOMatrix(
+            rows=self.cols,
+            cols=self.rows,
+            row_idx=self.col_idx,
+            col_idx=self.row_idx,
+            values=self.values,
+        )

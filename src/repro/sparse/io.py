@@ -1,0 +1,159 @@
+"""Matrix Market (.mtx) and binary matrix I/O.
+
+The paper's artifact parses Matrix Market files from SuiteSparse and
+caches a binary form ("``.hicoo``") for fast reloading (Appendix A.2.5).
+We implement both: a self-contained ``.mtx`` reader/writer (coordinate
+and array formats, general/symmetric/skew-symmetric, real/integer/
+pattern) and an ``.npz``-based binary cache.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "MatrixMarketError",
+    "read_matrix_market",
+    "write_matrix_market",
+    "save_binary",
+    "load_binary",
+    "load_matrix",
+]
+
+
+class MatrixMarketError(ValueError):
+    """Malformed Matrix Market content."""
+
+
+_VALID_FORMATS = {"coordinate", "array"}
+_VALID_FIELDS = {"real", "integer", "pattern", "complex"}
+_VALID_SYMMETRIES = {"general", "symmetric", "skew-symmetric", "hermitian"}
+
+
+def _parse_header(line: str) -> tuple[str, str, str]:
+    parts = line.strip().lower().split()
+    if len(parts) < 5 or parts[0] != "%%matrixmarket" or parts[1] != "matrix":
+        raise MatrixMarketError(f"bad MatrixMarket banner: {line!r}")
+    fmt, field, symmetry = parts[2], parts[3], parts[4]
+    if fmt not in _VALID_FORMATS:
+        raise MatrixMarketError(f"unsupported format {fmt!r}")
+    if field not in _VALID_FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if field == "complex":
+        raise MatrixMarketError("complex matrices are not supported")
+    if symmetry not in _VALID_SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+    if symmetry == "hermitian":
+        raise MatrixMarketError("hermitian matrices are not supported")
+    return fmt, field, symmetry
+
+
+def read_matrix_market(path: str | os.PathLike) -> CSRMatrix:
+    """Parse a ``.mtx`` file into canonical CSR.
+
+    Symmetric/skew-symmetric storage is expanded to general form
+    (off-diagonal entries mirrored; skew mirrors with negated value).
+    ``pattern`` entries get value 1.0.
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline()
+        fmt, field, symmetry = _parse_header(header)
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        size_parts = line.split()
+        if fmt == "coordinate":
+            if len(size_parts) != 3:
+                raise MatrixMarketError(f"bad size line: {line!r}")
+            rows, cols, nnz = (int(x) for x in size_parts)
+            body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+            if body.shape[0] != nnz:
+                raise MatrixMarketError(
+                    f"expected {nnz} entries, found {body.shape[0]}"
+                )
+            if nnz == 0:
+                return CSRMatrix.empty(rows, cols)
+            r = body[:, 0].astype(np.int64) - 1
+            c = body[:, 1].astype(np.int64) - 1
+            if field == "pattern":
+                v = np.ones(nnz, dtype=np.float64)
+            else:
+                if body.shape[1] < 3:
+                    raise MatrixMarketError("missing value column")
+                v = body[:, 2].astype(np.float64)
+        else:  # array (dense column-major)
+            if len(size_parts) != 2:
+                raise MatrixMarketError(f"bad size line: {line!r}")
+            rows, cols = (int(x) for x in size_parts)
+            data = np.loadtxt(fh)
+            dense = np.asarray(data, dtype=np.float64).reshape(cols, rows).T
+            if symmetry in ("symmetric", "skew-symmetric"):
+                raise MatrixMarketError(
+                    "symmetric array format is not supported"
+                )
+            return CSRMatrix.from_dense(dense)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = r != c
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        r = np.concatenate([r, c[off]])
+        c2 = np.concatenate([c, body[off, 0].astype(np.int64) - 1])
+        v = np.concatenate([v, sign * v[off]])
+        c = c2
+    return COOMatrix(rows=rows, cols=cols, row_idx=r, col_idx=c, values=v).to_csr()
+
+
+def write_matrix_market(path: str | os.PathLike, m: CSRMatrix) -> None:
+    """Write CSR as general real coordinate Matrix Market."""
+    coo = COOMatrix.from_csr(m)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write("% written by repro (AC-SpGEMM reproduction)\n")
+        fh.write(f"{m.rows} {m.cols} {m.nnz}\n")
+        for r, c, v in zip(coo.row_idx, coo.col_idx, coo.values):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+
+
+def save_binary(path: str | os.PathLike, m: CSRMatrix) -> None:
+    """Binary cache (analogue of the artifact's ``.hicoo`` files)."""
+    np.savez_compressed(
+        path,
+        rows=np.int64(m.rows),
+        cols=np.int64(m.cols),
+        row_ptr=m.row_ptr,
+        col_idx=m.col_idx,
+        values=m.values,
+    )
+
+
+def load_binary(path: str | os.PathLike) -> CSRMatrix:
+    """Load a matrix from the ``.npz`` binary cache format."""
+    with np.load(path) as z:
+        return CSRMatrix(
+            rows=int(z["rows"]),
+            cols=int(z["cols"]),
+            row_ptr=z["row_ptr"],
+            col_idx=z["col_idx"],
+            values=z["values"],
+        )
+
+
+def load_matrix(path: str | os.PathLike, *, cache: bool = True) -> CSRMatrix:
+    """Load ``.mtx`` (building a ``.npz`` cache next to it, like the
+    artifact's first-parse conversion) or a previously written ``.npz``."""
+    p = Path(path)
+    if p.suffix == ".npz":
+        return load_binary(p)
+    cache_path = p.with_suffix(".npz")
+    if cache and cache_path.exists() and cache_path.stat().st_mtime >= p.stat().st_mtime:
+        return load_binary(cache_path)
+    m = read_matrix_market(p)
+    if cache:
+        save_binary(cache_path, m)
+    return m

@@ -1,0 +1,104 @@
+"""Matrix statistics used throughout the paper's evaluation.
+
+Table 2 reports, per matrix: rows, cols, nnz, average and maximum row
+length of A and of C = A @ A (or A @ A.T), and the number of temporary
+products ("temp").  Figure 1 plots average/min/max row length over the
+whole collection.  :class:`MatrixStats` computes all of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .convert import transpose
+from .csr import CSRMatrix
+from .ops import count_intermediate_products
+
+__all__ = [
+    "MatrixStats",
+    "matrix_stats",
+    "ProductStats",
+    "product_stats",
+    "HIGHLY_SPARSE_SPLIT",
+    "is_highly_sparse",
+    "squared_operands",
+]
+
+#: The paper classifies matrices with average row length <= 42 as
+#: "highly sparse"; this split puts 80% of SuiteSparse in the sparse bin.
+HIGHLY_SPARSE_SPLIT = 42.0
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Row-structure statistics of a single matrix."""
+
+    rows: int
+    cols: int
+    nnz: int
+    mean_row_length: float
+    min_row_length: int
+    max_row_length: int
+
+    @property
+    def highly_sparse(self) -> bool:
+        """The paper's a <= 42 classification."""
+        return self.mean_row_length <= HIGHLY_SPARSE_SPLIT
+
+
+def matrix_stats(m: CSRMatrix) -> MatrixStats:
+    """Row-length statistics of ``m``."""
+    lengths = m.row_lengths()
+    return MatrixStats(
+        rows=m.rows,
+        cols=m.cols,
+        nnz=m.nnz,
+        mean_row_length=float(m.nnz / m.rows) if m.rows else 0.0,
+        min_row_length=int(lengths.min()) if m.rows else 0,
+        max_row_length=int(lengths.max()) if m.rows else 0,
+    )
+
+
+def is_highly_sparse(m: CSRMatrix) -> bool:
+    """The paper's a <= 42 split (§4.1)."""
+    return matrix_stats(m).highly_sparse
+
+
+def squared_operands(m: CSRMatrix) -> tuple[CSRMatrix, CSRMatrix]:
+    """The paper's benchmark product operands: ``(A, A)`` for square
+    matrices, ``(A, A.T)`` with the transpose precomputed otherwise."""
+    if m.is_square:
+        return m, m
+    return m, transpose(m)
+
+
+@dataclass(frozen=True)
+class ProductStats:
+    """Statistics of the product C = A @ B (Table 2 right-hand columns)."""
+
+    a: MatrixStats
+    c: MatrixStats
+    temp_products: int
+
+    @property
+    def compaction_factor(self) -> float:
+        """temporary products per output non-zero; the paper notes ESC
+        loses to hashing when this reaches the hundreds (§4.2)."""
+        return self.temp_products / self.c.nnz if self.c.nnz else 0.0
+
+    @property
+    def flops(self) -> int:
+        """2 multiplications+additions per temporary product — the FLOP
+        count used to report GFLOPS."""
+        return 2 * self.temp_products
+
+
+def product_stats(a: CSRMatrix, b: CSRMatrix, c: CSRMatrix) -> ProductStats:
+    """Statistics of the product ``C = A @ B``."""
+    return ProductStats(
+        a=matrix_stats(a),
+        c=matrix_stats(c),
+        temp_products=count_intermediate_products(a, b),
+    )

@@ -1,0 +1,87 @@
+"""Structural validation of sparse containers.
+
+Algorithms in this repository assume canonical CSR (sorted, de-duplicated
+rows).  :func:`validate_csr` checks every invariant and raises
+:class:`CSRValidationError` with a precise message on the first violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["CSRValidationError", "validate_csr", "is_canonical"]
+
+
+class CSRValidationError(ValueError):
+    """A CSR structural invariant does not hold."""
+
+
+def validate_csr(
+    m: CSRMatrix,
+    *,
+    require_sorted: bool = True,
+    require_unique: bool = True,
+    require_finite: bool = False,
+) -> None:
+    """Raise :class:`CSRValidationError` unless ``m`` is well formed.
+
+    Parameters
+    ----------
+    require_sorted:
+        Column ids ascend within each row.
+    require_unique:
+        No duplicate column id within a row (implied by strictly
+        ascending ids; checked together with ``require_sorted``).
+    require_finite:
+        No NaN/Inf values.
+    """
+    ptr = m.row_ptr
+    if ptr[0] != 0:
+        raise CSRValidationError("row_ptr[0] must be 0")
+    if ptr[-1] != m.nnz:
+        raise CSRValidationError(
+            f"row_ptr[-1] = {ptr[-1]} does not equal nnz = {m.nnz}"
+        )
+    diffs = np.diff(ptr)
+    if (diffs < 0).any():
+        bad = int(np.nonzero(diffs < 0)[0][0])
+        raise CSRValidationError(f"row_ptr decreases at row {bad}")
+    if m.nnz:
+        if m.col_idx.min() < 0:
+            raise CSRValidationError("negative column index")
+        if m.col_idx.max() >= m.cols:
+            bad = int(m.col_idx.argmax())
+            raise CSRValidationError(
+                f"column index {m.col_idx[bad]} out of range [0, {m.cols})"
+            )
+    if require_sorted and m.nnz:
+        # within-row comparison: col[i] vs col[i+1] unless i+1 starts a row
+        row_start = np.zeros(m.nnz, dtype=bool)
+        starts = ptr[1:-1]
+        row_start[starts[starts < m.nnz]] = True
+        interior = ~row_start[1:]
+        ascending = m.col_idx[1:] > m.col_idx[:-1]
+        if require_unique:
+            ok = ascending | ~interior
+        else:
+            ok = (m.col_idx[1:] >= m.col_idx[:-1]) | ~interior
+        if not ok.all():
+            bad = int(np.nonzero(~ok)[0][0])
+            raise CSRValidationError(
+                f"column ids not {'strictly ' if require_unique else ''}"
+                f"ascending at entry {bad + 1}"
+            )
+    if require_finite and m.nnz and not np.isfinite(m.values).all():
+        bad = int(np.nonzero(~np.isfinite(m.values))[0][0])
+        raise CSRValidationError(f"non-finite value at entry {bad}")
+
+
+def is_canonical(m: CSRMatrix) -> bool:
+    """True iff ``m`` passes :func:`validate_csr` with default checks."""
+    try:
+        validate_csr(m)
+    except CSRValidationError:
+        return False
+    return True

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+Tests default to the scaled-down :data:`repro.gpu.SMALL_DEVICE` so tiny
+matrices still exercise multiple ESC iterations, chunk spills, merges
+and restarts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, CSRMatrix
+from repro.gpu import SMALL_DEVICE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_options() -> AcSpgemmOptions:
+    """AC-SpGEMM options sized for unit tests."""
+    return AcSpgemmOptions(
+        device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20
+    )
+
+
+def random_csr(
+    rng: np.random.Generator,
+    rows: int,
+    cols: int,
+    density: float,
+    dtype=np.float64,
+) -> CSRMatrix:
+    """Dense-mask random CSR helper used across test modules."""
+    d = (rng.random((rows, cols)) < density) * rng.random((rows, cols))
+    return CSRMatrix.from_dense(d.astype(dtype))
+
+
+@pytest.fixture
+def medium_matrix(rng) -> CSRMatrix:
+    return random_csr(rng, 80, 80, 0.06)

@@ -1,0 +1,198 @@
+"""End-to-end tests of the AC-SpGEMM pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, CSRMatrix, ac_spgemm, spgemm_reference, transpose
+from repro.core import STAGE_KEYS
+from repro.gpu import SMALL_DEVICE, TITAN_XP
+from repro.matrices import generators as g
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def opts():
+    return AcSpgemmOptions(device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_square(self, seed, opts):
+        rng = np.random.default_rng(seed)
+        a = random_csr(rng, 70, 70, 0.07)
+        res = ac_spgemm(a, a, opts)
+        assert res.matrix.allclose(spgemm_reference(a, a))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rectangular_chain(self, seed, opts):
+        rng = np.random.default_rng(seed + 100)
+        a = random_csr(rng, 30, 50, 0.1)
+        b = random_csr(rng, 50, 20, 0.1)
+        res = ac_spgemm(a, b, opts)
+        assert res.matrix.allclose(spgemm_reference(a, b))
+
+    def test_a_at_for_nonsquare(self, opts, rng):
+        a = random_csr(rng, 40, 90, 0.08)
+        res = ac_spgemm(a, transpose(a), opts)
+        assert res.matrix.allclose(spgemm_reference(a, transpose(a)))
+
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            lambda: g.banded(150, 4, seed=1),
+            lambda: g.stencil_2d(15, seed=2),
+            lambda: g.power_law(300, 4, seed=3),
+            lambda: g.road_network(400, seed=4),
+            lambda: g.block_dense(120, 25, n_blocks=2, seed=5),
+            lambda: g.bipartite_design(30, 200, 40, seed=6),
+        ],
+    )
+    def test_generator_families(self, gen, opts):
+        from repro.sparse import squared_operands
+
+        a, b = squared_operands(gen())
+        res = ac_spgemm(a, b, opts)
+        assert res.matrix.allclose(spgemm_reference(a, b))
+
+    def test_titan_config(self, rng):
+        a = random_csr(rng, 120, 120, 0.08)
+        res = ac_spgemm(a, a, AcSpgemmOptions(chunk_pool_lower_bound_bytes=1 << 22))
+        assert res.matrix.allclose(spgemm_reference(a, a))
+
+    def test_empty_inputs(self, opts):
+        res = ac_spgemm(CSRMatrix.empty(4, 5), CSRMatrix.empty(5, 6), opts)
+        assert res.matrix.shape == (4, 6) and res.matrix.nnz == 0
+
+    def test_dimension_mismatch(self, opts, rng):
+        a = random_csr(rng, 4, 5, 0.5)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            ac_spgemm(a, a, opts)
+
+    def test_float32(self, opts, rng):
+        a = random_csr(rng, 60, 60, 0.08)
+        res = ac_spgemm(a, a, opts.with_(value_dtype=np.float32))
+        assert res.matrix.dtype == np.float32
+        ref = spgemm_reference(a.astype(np.float32), a.astype(np.float32))
+        assert res.matrix.allclose(ref, rtol=1e-4)
+
+    def test_output_is_canonical(self, opts, rng):
+        from repro.sparse import validate_csr
+
+        a = random_csr(rng, 50, 50, 0.1)
+        validate_csr(ac_spgemm(a, a, opts).matrix)
+
+
+class TestBitStability:
+    def test_repeated_runs_identical(self, opts, rng):
+        a = random_csr(rng, 80, 80, 0.08)
+        r1 = ac_spgemm(a, a, opts)
+        r2 = ac_spgemm(a, a, opts)
+        assert r1.matrix.exactly_equal(r2.matrix)
+        assert r1.stage_cycles == r2.stage_cycles
+        assert r1.total_cycles == r2.total_cycles
+
+    def test_stable_across_device_geometry(self, rng):
+        """Different block geometry may change accumulation grouping, but
+        each configuration must be self-consistent."""
+        a = random_csr(rng, 60, 60, 0.1)
+        for device in (SMALL_DEVICE, TITAN_XP):
+            o = AcSpgemmOptions(device=device, chunk_pool_lower_bound_bytes=1 << 20)
+            assert ac_spgemm(a, a, o).matrix.exactly_equal(
+                ac_spgemm(a, a, o).matrix
+            )
+
+
+class TestAccounting:
+    def test_stage_keys_complete(self, opts, rng):
+        a = random_csr(rng, 50, 50, 0.1)
+        res = ac_spgemm(a, a, opts)
+        assert set(res.stage_cycles) == set(STAGE_KEYS)
+        assert res.total_cycles > 0
+        assert res.seconds > 0
+        fr = res.stage_fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+    def test_memory_report(self, opts, rng):
+        a = random_csr(rng, 50, 50, 0.1)
+        res = ac_spgemm(a, a, opts)
+        m = res.memory
+        assert m.chunk_used_bytes <= m.chunk_pool_bytes
+        assert m.output_bytes == res.matrix.nbytes()
+        assert 0 < m.used_fraction <= 1
+        assert m.helper_bytes > 0
+
+    def test_flop_counter_matches_temp(self, opts, rng):
+        from repro.sparse import count_intermediate_products
+
+        a = random_csr(rng, 40, 40, 0.12)
+        res = ac_spgemm(a, a, opts)
+        temp = count_intermediate_products(a, a)
+        assert res.counters.flops == 2 * temp
+
+    def test_multiprocessor_load_in_range(self, opts, rng):
+        a = random_csr(rng, 80, 80, 0.1)
+        res = ac_spgemm(a, a, opts)
+        assert 0.0 <= res.multiprocessor_load <= 1.0
+
+
+class TestRestarts:
+    def test_tiny_pool_restarts_and_is_correct(self, rng):
+        a = random_csr(rng, 60, 60, 0.1)
+        opts = AcSpgemmOptions(
+            device=SMALL_DEVICE, chunk_pool_bytes=600, pool_growth_factor=1.5
+        )
+        res = ac_spgemm(a, a, opts)
+        assert res.restarts > 0
+        assert res.matrix.allclose(spgemm_reference(a, a))
+
+    def test_restarts_do_not_change_bits(self, rng):
+        a = random_csr(rng, 60, 60, 0.1)
+        small = AcSpgemmOptions(
+            device=SMALL_DEVICE, chunk_pool_bytes=600, pool_growth_factor=1.5
+        )
+        big = AcSpgemmOptions(
+            device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 22
+        )
+        r_small = ac_spgemm(a, a, small)
+        r_big = ac_spgemm(a, a, big)
+        assert r_small.restarts > 0 and r_big.restarts == 0
+        assert r_small.matrix.exactly_equal(r_big.matrix)
+
+    def test_restart_limit(self, rng):
+        a = random_csr(rng, 60, 60, 0.15)
+        opts = AcSpgemmOptions(
+            device=SMALL_DEVICE,
+            chunk_pool_bytes=200,
+            pool_growth_factor=1.01,
+            max_restarts=1,
+        )
+        with pytest.raises(RuntimeError, match="restart limit"):
+            ac_spgemm(a, a, opts)
+
+
+class TestOptionsAblations:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enable_keep_last_row": False},
+            {"enable_bit_reduction": False},
+            {"enable_long_row_handling": False},
+            {"multi_merge_max_chunks": 3, "path_merge_max_chunks": 4},
+        ],
+    )
+    def test_all_variants_correct(self, kwargs, opts, rng):
+        a = random_csr(rng, 70, 70, 0.08)
+        res = ac_spgemm(a, a, opts.with_(**kwargs))
+        assert res.matrix.allclose(spgemm_reference(a, a))
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            AcSpgemmOptions(value_dtype=np.int32)
+        with pytest.raises(ValueError):
+            AcSpgemmOptions(multi_merge_max_chunks=1)
+        with pytest.raises(ValueError):
+            AcSpgemmOptions(path_merge_max_chunks=1)
+        with pytest.raises(ValueError):
+            AcSpgemmOptions(chunk_meta_factor=0.5)
+        with pytest.raises(ValueError):
+            AcSpgemmOptions(pool_growth_factor=1.0)

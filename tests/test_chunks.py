@@ -1,0 +1,151 @@
+"""Unit tests for chunk storage and tracking (§3.2.4)."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix
+from repro.core import Chunk, ChunkPool, PoolExhausted, RowChunkTracker
+from repro.gpu import CostMeter, TITAN_XP
+
+
+@pytest.fixture
+def meter():
+    return CostMeter(config=TITAN_XP)
+
+
+def data_chunk(order, rows, cols, vals):
+    rows = np.asarray(rows, dtype=np.int64)
+    return Chunk(
+        order_key=order,
+        kind="data",
+        first_row=int(rows[0]),
+        last_row=int(rows[-1]),
+        rows=rows,
+        cols=np.asarray(cols, dtype=np.int64),
+        vals=np.asarray(vals, dtype=np.float64),
+    )
+
+
+class TestChunk:
+    def test_row_segment(self):
+        c = data_chunk((0, 0), [1, 1, 3, 3, 3], [0, 2, 1, 4, 5], np.ones(5))
+        assert c.row_segment(1) == slice(0, 2)
+        assert c.row_segment(3) == slice(2, 5)
+        with pytest.raises(KeyError):
+            c.row_segment(2)
+
+    def test_covered_rows(self):
+        c = data_chunk((0, 0), [1, 1, 3], [0, 1, 2], np.ones(3))
+        np.testing.assert_array_equal(c.covered_rows(), [1, 3])
+
+    def test_pointer_chunk_materialises_from_b(self):
+        b = CSRMatrix.from_dense(np.array([[0.0, 2.0, 3.0], [1.0, 0.0, 0.0]]))
+        c = Chunk(
+            order_key=(0, 0),
+            kind="pointer",
+            first_row=5,
+            last_row=5,
+            b_row=0,
+            factor=2.0,
+            b_length=2,
+        )
+        np.testing.assert_array_equal(c.columns(b), [1, 2])
+        np.testing.assert_array_equal(c.values(b), [4.0, 6.0])
+        assert c.count == 2
+        np.testing.assert_array_equal(c.covered_rows(), [5])
+
+    def test_segment_offset_default_zero(self):
+        c = data_chunk((0, 0), [1], [0], [1.0])
+        assert c.segment_offset(1) == 0
+        c.segment_offsets = {1: 7}
+        assert c.segment_offset(1) == 7
+
+
+class TestChunkPool:
+    def test_bump_allocation(self, meter):
+        pool = ChunkPool(capacity_bytes=1000)
+        c1 = data_chunk((0, 0), [0], [0], [1.0])
+        c2 = data_chunk((0, 1), [1], [1], [1.0])
+        pool.allocate(c1, 400, meter)
+        pool.allocate(c2, 400, meter)
+        assert c1.pool_offset == 0 and c2.pool_offset == 400
+        assert pool.used_bytes == 800
+
+    def test_exhaustion_raises_without_mutation(self, meter):
+        pool = ChunkPool(capacity_bytes=100)
+        c = data_chunk((0, 0), [0], [0], [1.0])
+        with pytest.raises(PoolExhausted):
+            pool.allocate(c, 200, meter)
+        assert pool.used_bytes == 0
+        assert not pool.chunks
+
+    def test_grow_enables_allocation(self, meter):
+        pool = ChunkPool(capacity_bytes=100)
+        c = data_chunk((0, 0), [0], [0], [1.0])
+        pool.grow(200)
+        pool.allocate(c, 200, meter)
+        assert pool.growths == 1
+
+    def test_ordered_chunks_by_global_key(self, meter):
+        pool = ChunkPool(capacity_bytes=10000)
+        cb = data_chunk((2, 0), [0], [0], [1.0])
+        ca = data_chunk((1, 5), [1], [0], [1.0])
+        pool.allocate(cb, 100, meter)
+        pool.allocate(ca, 100, meter)
+        assert [c.order_key for c in pool.ordered_chunks()] == [(1, 5), (2, 0)]
+
+    def test_data_bytes_includes_header(self):
+        pool = ChunkPool(capacity_bytes=0)
+        assert pool.data_bytes(10, 8) == 32 + 10 * 12
+
+
+class TestRowChunkTracker:
+    def test_shared_row_detection(self, meter):
+        t = RowChunkTracker(n_rows=10)
+        c1 = data_chunk((0, 0), [3], [0], [1.0])
+        c2 = data_chunk((1, 0), [3], [1], [1.0])
+        t.insert(c1, 3, 1, meter)
+        assert not t.is_shared(3)
+        t.insert(c2, 3, 1, meter)
+        assert t.is_shared(3)
+        assert t.shared_rows == [3]
+        assert t.row_counts[3] == 2
+
+    def test_chunks_for_sorted_by_order_key(self, meter):
+        t = RowChunkTracker(n_rows=5)
+        c_late = data_chunk((7, 0), [1], [0], [1.0])
+        c_early = data_chunk((2, 1), [1], [1], [1.0])
+        t.insert(c_late, 1, 1, meter)
+        t.insert(c_early, 1, 1, meter)
+        assert [c.order_key for c in t.chunks_for(1)] == [(2, 1), (7, 0)]
+
+    def test_insert_chunk_covers_all_rows(self, meter):
+        t = RowChunkTracker(n_rows=5)
+        b = CSRMatrix.empty(3, 3)
+        c = data_chunk((0, 0), [1, 1, 2, 4], [0, 1, 0, 2], np.ones(4))
+        t.insert_chunk(c, b, meter)
+        assert t.row_counts[1] == 2
+        assert t.row_counts[2] == 1
+        assert t.row_counts[4] == 1
+
+    def test_replace_row(self, meter):
+        t = RowChunkTracker(n_rows=5)
+        c1 = data_chunk((0, 0), [2], [0], [1.0])
+        c2 = data_chunk((1, 0), [2], [1], [1.0])
+        t.insert(c1, 2, 1, meter)
+        t.insert(c2, 2, 1, meter)
+        merged = data_chunk((100, 0), [2, 2], [0, 1], [1.0, 1.0])
+        t.replace_row(2, [merged], 2)
+        assert t.chunks_for(2) == [merged]
+        assert t.row_counts[2] == 2
+
+    def test_sorted_shared_rows(self, meter):
+        t = RowChunkTracker(n_rows=10)
+        for row in (7, 2):
+            for blk in range(2):
+                t.insert(data_chunk((blk, 0), [row], [0], [1.0]), row, 1, meter)
+        np.testing.assert_array_equal(t.sorted_shared_rows(), [2, 7])
+
+    def test_helper_bytes(self, meter):
+        t = RowChunkTracker(n_rows=100)
+        assert t.helper_bytes() >= 100 * 12

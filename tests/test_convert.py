@@ -1,0 +1,86 @@
+"""Unit tests for conversions and structural transforms."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix, transpose
+from repro.sparse import (
+    extract_rows,
+    lower_triangle,
+    prune_explicit_zeros,
+    sort_row_entries,
+    upper_triangle,
+    validate_csr,
+)
+from tests.conftest import random_csr
+
+
+class TestTranspose:
+    def test_matches_dense(self, rng):
+        m = random_csr(rng, 13, 21, 0.25)
+        np.testing.assert_array_equal(transpose(m).to_dense(), m.to_dense().T)
+
+    def test_result_is_canonical(self, rng):
+        m = random_csr(rng, 40, 17, 0.3)
+        validate_csr(transpose(m))
+
+    def test_double_transpose_identity(self, rng):
+        m = random_csr(rng, 9, 31, 0.2)
+        assert transpose(transpose(m)).exactly_equal(m)
+
+    def test_empty(self):
+        t = transpose(CSRMatrix.empty(4, 7))
+        assert t.shape == (7, 4)
+        assert t.nnz == 0
+
+
+class TestSortRowEntries:
+    def test_sorts_shuffled_rows(self, rng):
+        m = random_csr(rng, 10, 20, 0.4)
+        shuffled = m.copy()
+        # shuffle within each row
+        for i in range(m.rows):
+            lo, hi = m.row_ptr[i], m.row_ptr[i + 1]
+            perm = rng.permutation(hi - lo)
+            shuffled.col_idx[lo:hi] = m.col_idx[lo:hi][perm]
+            shuffled.values[lo:hi] = m.values[lo:hi][perm]
+        assert sort_row_entries(shuffled).exactly_equal(m)
+
+
+class TestPrune:
+    def test_removes_zeros(self):
+        m = CSRMatrix(
+            2, 2, np.array([0, 2, 3]), np.array([0, 1, 0]), np.array([1.0, 0.0, 2.0])
+        )
+        p = prune_explicit_zeros(m)
+        assert p.nnz == 2
+        np.testing.assert_array_equal(p.to_dense(), m.to_dense())
+
+    def test_noop_when_clean(self, medium_matrix):
+        assert prune_explicit_zeros(medium_matrix).exactly_equal(medium_matrix)
+
+
+class TestExtractRows:
+    def test_subset(self, rng):
+        m = random_csr(rng, 12, 8, 0.4)
+        sub = extract_rows(m, np.array([3, 0, 7]))
+        np.testing.assert_array_equal(
+            sub.to_dense(), m.to_dense()[[3, 0, 7]]
+        )
+
+
+class TestTriangles:
+    def test_strict_split_partitions(self, rng):
+        m = random_csr(rng, 15, 15, 0.3)
+        lo = lower_triangle(m)
+        up = upper_triangle(m)
+        diag = np.diag(np.diag(m.to_dense()))
+        np.testing.assert_allclose(
+            lo.to_dense() + up.to_dense() + diag, m.to_dense()
+        )
+
+    def test_inclusive(self, rng):
+        m = random_csr(rng, 10, 10, 0.5)
+        lo = lower_triangle(m, strict=False)
+        dense = lo.to_dense()
+        assert np.triu(dense, 1).sum() == 0

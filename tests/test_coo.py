@@ -1,0 +1,90 @@
+"""Unit tests for the COO container and COO->CSR conversion."""
+
+import numpy as np
+import pytest
+
+from repro import COOMatrix, CSRMatrix
+
+
+def test_to_csr_sorts_and_sums_duplicates():
+    coo = COOMatrix(
+        rows=2,
+        cols=3,
+        row_idx=np.array([1, 0, 1, 1]),
+        col_idx=np.array([2, 1, 2, 0]),
+        values=np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+    csr = coo.to_csr()
+    assert csr.nnz == 3
+    np.testing.assert_array_equal(csr.row_ptr, [0, 1, 3])
+    np.testing.assert_array_equal(csr.col_idx, [1, 0, 2])
+    np.testing.assert_array_equal(csr.values, [2.0, 4.0, 4.0])
+
+
+def test_to_csr_without_dedup_keeps_duplicates():
+    coo = COOMatrix(
+        rows=1,
+        cols=2,
+        row_idx=np.array([0, 0]),
+        col_idx=np.array([1, 1]),
+        values=np.array([1.0, 2.0]),
+    )
+    csr = coo.to_csr(sum_duplicates=False)
+    assert csr.nnz == 2
+
+
+def test_duplicate_accumulation_order_is_stable():
+    # 1e16 + 1 - 1e16 depends on order; triplet order must be preserved
+    coo = COOMatrix(
+        rows=1,
+        cols=1,
+        row_idx=np.zeros(3, dtype=int),
+        col_idx=np.zeros(3, dtype=int),
+        values=np.array([1e16, 1.0, -1e16]),
+    )
+    expected = (1e16 + 1.0) - 1e16
+    assert coo.to_csr().values[0] == expected
+
+
+def test_empty_coo():
+    coo = COOMatrix(3, 3, np.zeros(0, int), np.zeros(0, int), np.zeros(0))
+    csr = coo.to_csr()
+    assert csr.nnz == 0
+    assert csr.shape == (3, 3)
+
+
+def test_round_trip_with_csr(rng):
+    from tests.conftest import random_csr
+
+    m = random_csr(rng, 15, 12, 0.3)
+    back = COOMatrix.from_csr(m).to_csr()
+    assert m.exactly_equal(back)
+
+
+def test_transpose_is_view_swap(rng):
+    from tests.conftest import random_csr
+
+    m = random_csr(rng, 10, 6, 0.4)
+    t = COOMatrix.from_csr(m).transpose()
+    assert t.shape == (6, 10)
+    np.testing.assert_array_equal(
+        t.to_csr().to_dense(), m.to_dense().T
+    )
+
+
+@pytest.mark.parametrize(
+    "row,col,err",
+    [
+        ([5], [0], "row index out of range"),
+        ([0], [5], "column index out of range"),
+        ([-1], [0], "negative"),
+    ],
+)
+def test_rejects_out_of_range(row, col, err):
+    with pytest.raises(ValueError, match=err):
+        COOMatrix(3, 3, np.array(row), np.array(col), np.array([1.0]))
+
+
+def test_rejects_length_mismatch():
+    with pytest.raises(ValueError, match="equal length"):
+        COOMatrix(3, 3, np.array([0, 1]), np.array([0]), np.array([1.0]))

@@ -1,0 +1,127 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix
+from tests.conftest import random_csr
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self, rng):
+        d = (rng.random((7, 9)) < 0.4) * rng.random((7, 9))
+        m = CSRMatrix.from_dense(d)
+        assert m.shape == (7, 9)
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_from_dense_tolerance(self):
+        d = np.array([[0.5, 1e-9], [0.0, 2.0]])
+        m = CSRMatrix.from_dense(d, tol=1e-6)
+        assert m.nnz == 2
+
+    def test_empty(self):
+        m = CSRMatrix.empty(3, 4)
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+        np.testing.assert_array_equal(m.to_dense(), np.zeros((3, 4)))
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(5))
+
+    def test_rejects_bad_row_ptr_length(self):
+        with pytest.raises(ValueError, match="rows \\+ 1"):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            CSRMatrix(1, 3, np.array([0, 2]), np.array([0, 1]), np.array([1.0]))
+
+    def test_rejects_bad_endpoints(self):
+        with pytest.raises(ValueError, match="end at nnz"):
+            CSRMatrix(1, 3, np.array([0, 5]), np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CSRMatrix(-1, 2, np.array([0]), np.zeros(0, int), np.zeros(0))
+
+    def test_rejects_float_indices(self):
+        with pytest.raises(TypeError, match="integer"):
+            CSRMatrix(1, 2, np.array([0.0, 1.0]), np.array([0]), np.array([1.0]))
+
+    def test_integer_values_promoted_to_float(self):
+        m = CSRMatrix(1, 2, np.array([0, 1]), np.array([1]), np.array([3]))
+        assert np.issubdtype(m.dtype, np.floating)
+
+
+class TestAccessors:
+    def test_row_lengths(self, rng):
+        m = random_csr(rng, 20, 15, 0.3)
+        np.testing.assert_array_equal(
+            m.row_lengths(), np.diff(m.row_ptr)
+        )
+
+    def test_row_slice(self):
+        m = CSRMatrix.from_dense(np.array([[1.0, 0, 2.0], [0, 0, 0], [0, 3.0, 0]]))
+        cols, vals = m.row_slice(0)
+        np.testing.assert_array_equal(cols, [0, 2])
+        np.testing.assert_array_equal(vals, [1.0, 2.0])
+        cols, _ = m.row_slice(1)
+        assert cols.shape[0] == 0
+
+    def test_row_slice_out_of_range(self, medium_matrix):
+        with pytest.raises(IndexError):
+            medium_matrix.row_slice(medium_matrix.rows)
+
+    def test_iter_rows_skips_empty(self):
+        m = CSRMatrix.from_dense(np.array([[0.0, 0], [1.0, 0]]))
+        rows = [i for i, _, _ in m.iter_rows()]
+        assert rows == [1]
+
+    def test_nbytes_positive(self, medium_matrix):
+        assert medium_matrix.nbytes() > 0
+        assert medium_matrix.nbytes() >= medium_matrix.nnz * 16
+
+
+class TestConversions:
+    def test_scipy_round_trip(self, rng):
+        m = random_csr(rng, 30, 25, 0.2)
+        back = CSRMatrix.from_scipy(m.to_scipy())
+        assert m.exactly_equal(back)
+
+    def test_astype_float32(self, medium_matrix):
+        m32 = medium_matrix.astype(np.float32)
+        assert m32.dtype == np.float32
+        assert m32.nnz == medium_matrix.nnz
+        np.testing.assert_allclose(
+            m32.values, medium_matrix.values.astype(np.float32)
+        )
+
+    def test_copy_is_independent(self, medium_matrix):
+        c = medium_matrix.copy()
+        c.values[:] = 0
+        assert medium_matrix.values.any()
+
+
+class TestEquality:
+    def test_exactly_equal_self(self, medium_matrix):
+        assert medium_matrix.exactly_equal(medium_matrix.copy())
+
+    def test_exactly_equal_detects_value_bit_change(self, medium_matrix):
+        other = medium_matrix.copy()
+        other.values[0] = np.nextafter(other.values[0], 1.0)
+        assert not medium_matrix.exactly_equal(other)
+
+    def test_allclose_tolerates_noise(self, medium_matrix):
+        other = medium_matrix.copy()
+        other.values *= 1.0 + 1e-13
+        assert medium_matrix.allclose(other)
+        assert not medium_matrix.exactly_equal(other)
+
+    def test_allclose_shape_mismatch(self):
+        assert not CSRMatrix.empty(2, 2).allclose(CSRMatrix.empty(2, 3))
+
+    def test_allclose_structure_mismatch(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[0.0, 1.0]]))
+        assert not a.allclose(b)

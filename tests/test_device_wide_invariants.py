@@ -1,0 +1,86 @@
+"""Whole-pipeline invariants that cut across modules."""
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, ac_spgemm, count_intermediate_products
+from repro.gpu import SMALL_DEVICE
+from repro.matrices import random_uniform
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def opts():
+    return AcSpgemmOptions(device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20)
+
+
+class TestConservation:
+    def test_chunk_counts_sum_to_output(self, opts, rng):
+        """After merging, per-row counts equal the final nnz(C)."""
+        a = random_csr(rng, 70, 70, 0.1)
+        res = ac_spgemm(a, a, opts)
+        assert int(res.matrix.row_ptr[-1]) == res.matrix.nnz
+
+    def test_sorted_elements_at_least_temp(self, opts, rng):
+        """Every temporary product passes through the sort at least
+        once (carried elements and merges re-sort some)."""
+        a = random_csr(rng, 60, 60, 0.1)
+        res = ac_spgemm(a, a, opts)
+        temp = count_intermediate_products(a, a)
+        assert res.counters.sorted_elements >= temp
+
+    def test_global_reads_cover_inputs(self, opts, rng):
+        a = random_csr(rng, 60, 60, 0.1)
+        res = ac_spgemm(a, a, opts)
+        temp = count_intermediate_products(a, a)
+        # at minimum: A entries once, one B gather per product
+        min_bytes = a.nnz * 4 + temp * 4
+        assert res.counters.global_bytes_read >= min_bytes
+
+    def test_kernel_launches_bounded(self, opts, rng):
+        """AC-SpGEMM's launch count stays small (single-digit plus
+        merge/restart rounds) — the overhead the pipeline design
+        minimises."""
+        a = random_csr(rng, 60, 60, 0.08)
+        res = ac_spgemm(a, a, opts)
+        assert res.counters.kernel_launches <= 10 + 2 * res.restarts
+
+
+class TestScaling:
+    def test_time_grows_with_temp(self, opts):
+        """More intermediate products => more simulated time."""
+        times = []
+        for avg in (2, 6, 18):
+            a = random_uniform(600, 600, avg, seed=3)
+            times.append(ac_spgemm(a, a, opts).seconds)
+        assert times[0] < times[1] < times[2]
+
+    def test_gflops_improves_with_scale(self, opts):
+        """Launch overheads amortise: throughput rises with size."""
+        gf = []
+        for n in (200, 800, 3200):
+            a = random_uniform(n, n, 6, seed=4)
+            res = ac_spgemm(a, a, opts)
+            temp = count_intermediate_products(a, a)
+            gf.append(2 * temp / res.seconds / 1e9)
+        assert gf[0] < gf[1] < gf[2]
+
+    def test_nnz_per_block_trades_blocks_for_chunks(self, rng):
+        """Larger global load-balancing blocks => fewer blocks and fewer
+        boundary (shared) rows."""
+        a = random_csr(rng, 120, 120, 0.1)
+        small_blocks = ac_spgemm(
+            a, a, AcSpgemmOptions(
+                device=SMALL_DEVICE.with_(nnz_per_block_glb=8),
+                chunk_pool_lower_bound_bytes=1 << 20,
+            )
+        )
+        large_blocks = ac_spgemm(
+            a, a, AcSpgemmOptions(
+                device=SMALL_DEVICE.with_(nnz_per_block_glb=64),
+                chunk_pool_lower_bound_bytes=1 << 20,
+            )
+        )
+        assert large_blocks.n_blocks < small_blocks.n_blocks
+        assert large_blocks.shared_rows <= small_blocks.shared_rows
+        assert large_blocks.matrix.allclose(small_blocks.matrix, rtol=1e-12)

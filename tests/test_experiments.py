@@ -1,0 +1,91 @@
+"""Unit tests for the experiment drivers, using fabricated records."""
+
+import numpy as np
+import pytest
+
+from repro.bench import GPU_LINEUP, RunRecord
+from repro.bench.experiments import (
+    ac_best_percentage,
+    figure5_trends,
+    fullset_rows,
+    table1_rows,
+)
+
+
+def rec(matrix, alg, seconds, *, a_len=5.0, dtype="float64", temp=100000):
+    return RunRecord(
+        matrix=matrix,
+        algorithm=alg,
+        dtype=dtype,
+        gflops=2.0 * temp / seconds / 1e9,
+        seconds=seconds,
+        cycles=seconds * 1.582e9,
+        temp=temp,
+        nnz_c=temp // 2,
+        mean_row_length=a_len,
+        extra_memory_bytes=0,
+        bit_stable=alg in ("ac-spgemm", "bhsparse", "rmerge"),
+        correct=True,
+    )
+
+
+@pytest.fixture
+def records():
+    """Two sparse and one dense matrix; AC wins sparse, nsparse dense."""
+    out = []
+    for m, a_len, ac_t in (("s1", 3.0, 1.0), ("s2", 10.0, 2.0), ("d1", 80.0, 4.0)):
+        for alg in GPU_LINEUP:
+            if alg == "ac-spgemm":
+                t = ac_t
+            elif alg == "nsparse":
+                t = ac_t * (0.5 if a_len > 42 else 2.0)
+            else:
+                t = ac_t * 3.0
+            out.append(rec(m, alg, t, a_len=a_len))
+    return out
+
+
+class TestTable1:
+    def test_sparse_summaries(self, records):
+        rows = table1_rows(records, "float64", sparse=True)
+        by = {r.competitor: r for r in rows}
+        assert by["nsparse"].h_mean == pytest.approx(2.0)
+        assert by["nsparse"].n_matrices == 2
+        assert by["nsparse"].pct_better_than_ac == 0.0
+        assert by["cusparse"].h_mean == pytest.approx(3.0)
+
+    def test_dense_summaries(self, records):
+        rows = table1_rows(records, "float64", sparse=False)
+        by = {r.competitor: r for r in rows}
+        assert by["nsparse"].h_mean == pytest.approx(0.5)
+        assert by["nsparse"].pct_better_than_ac == 100.0
+        assert by["nsparse"].pct_best_overall == 100.0
+
+    def test_ac_best_percentage(self, records):
+        assert ac_best_percentage(records, "float64", sparse=True) == 100.0
+        assert ac_best_percentage(records, "float64", sparse=False) == 0.0
+
+    def test_dtype_filter(self, records):
+        # no float32 records at all -> nothing to summarise
+        assert table1_rows(records, "float32", sparse=True) == []
+
+
+class TestFigure5:
+    def test_trend_only_sparse(self, records):
+        trends = figure5_trends(records, "float64", n_bins=2)
+        for alg, pts in trends.items():
+            assert sum(n for _, _, n in pts) == 2  # two sparse matrices
+
+
+class TestFullset:
+    def test_split(self, records):
+        small = fullset_rows(records, "float64", sparse=True)
+        large = fullset_rows(records, "float64", sparse=False)
+        assert {r[0] for r in small} == {"s1", "s2"}
+        assert {r[0] for r in large} == {"d1"}
+        assert len(small[0]) == 2 + len(GPU_LINEUP)
+
+    def test_round_trip_json(self, records):
+        r = records[0]
+        back = RunRecord.from_json(r.to_json())
+        assert back == r

@@ -1,0 +1,48 @@
+"""Unit tests for the device configuration."""
+
+import pytest
+
+from repro.gpu import SMALL_DEVICE, TITAN_XP, DeviceConfig
+
+
+def test_titan_defaults_match_paper():
+    # §4: 256 threads, 8 sort elements/thread, keep up to 4, 256 nnz/block
+    assert TITAN_XP.threads_per_block == 256
+    assert TITAN_XP.nnz_per_thread == 8
+    assert TITAN_XP.keep_per_thread == 4
+    assert TITAN_XP.nnz_per_block_glb == 256
+    # §3: "up to 4000 temporary elements can be held" per block
+    assert 2000 <= TITAN_XP.elements_per_block <= 4096
+
+
+def test_derived_properties():
+    assert TITAN_XP.elements_per_block == 256 * 8
+    assert TITAN_XP.keep_elements == 256 * 4
+    assert TITAN_XP.warps_per_block == 8
+
+
+def test_small_device_is_consistent():
+    assert SMALL_DEVICE.keep_per_thread < SMALL_DEVICE.nnz_per_thread
+    assert SMALL_DEVICE.elements_per_block < TITAN_XP.elements_per_block
+
+
+def test_with_override():
+    d = TITAN_XP.with_(nnz_per_block_glb=512)
+    assert d.nnz_per_block_glb == 512
+    assert d.threads_per_block == TITAN_XP.threads_per_block
+
+
+@pytest.mark.parametrize(
+    "kwargs,match",
+    [
+        ({"num_sms": 0}, "num_sms"),
+        ({"warp_size": 33}, "power of two"),
+        ({"threads_per_block": 100}, "multiple of warp_size"),
+        ({"nnz_per_thread": 0}, "positive"),
+        ({"keep_per_thread": 8}, "smaller than nnz_per_thread"),
+        ({"nnz_per_block_glb": 0}, "positive"),
+    ],
+)
+def test_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        DeviceConfig(**kwargs)

@@ -1,0 +1,132 @@
+"""Unit tests for block-wide primitives and the radix sort."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    CostMeter,
+    TITAN_XP,
+    bits_required,
+    block_reduce_minmax,
+    blocked_to_striped,
+    exclusive_prefix_sum,
+    inclusive_max_scan,
+    inclusive_prefix_sum,
+    radix_sort_pairs,
+    radix_sort_permutation,
+    striped_to_blocked,
+)
+
+
+@pytest.fixture
+def meter():
+    return CostMeter(config=TITAN_XP)
+
+
+class TestScans:
+    def test_inclusive_sum(self, meter, rng):
+        v = rng.integers(0, 10, 100)
+        np.testing.assert_array_equal(
+            inclusive_prefix_sum(meter, v), np.cumsum(v)
+        )
+        assert meter.cycles > 0
+
+    def test_exclusive_sum(self, meter):
+        scan, total = exclusive_prefix_sum(meter, np.array([3, 1, 4]))
+        np.testing.assert_array_equal(scan, [0, 3, 4])
+        assert total == 8
+
+    def test_exclusive_empty(self, meter):
+        scan, total = exclusive_prefix_sum(meter, np.zeros(0, dtype=int))
+        assert scan.shape == (0,) and total == 0
+
+    def test_max_scan(self, meter):
+        v = np.array([1, 5, 2, 7, 3])
+        np.testing.assert_array_equal(
+            inclusive_max_scan(meter, v), [1, 5, 5, 7, 7]
+        )
+
+    def test_minmax_reduce(self, meter):
+        lo, hi = block_reduce_minmax(meter, np.array([5, 2, 9, 2]))
+        assert (lo, hi) == (2, 9)
+
+    def test_minmax_empty_rejected(self, meter):
+        with pytest.raises(ValueError):
+            block_reduce_minmax(meter, np.zeros(0, dtype=int))
+
+
+class TestLayout:
+    def test_blocked_striped_round_trip(self, meter, rng):
+        threads, per = 8, 4
+        v = rng.integers(0, 100, threads * per)
+        s = blocked_to_striped(meter, v, threads, per)
+        back = striped_to_blocked(meter, s, threads, per)
+        np.testing.assert_array_equal(back, v)
+
+    def test_striped_semantics(self, meter):
+        # thread t's blocked items [t*N, t*N+N) land at t + i*T
+        threads, per = 2, 3
+        v = np.array([0, 1, 2, 10, 11, 12])
+        s = blocked_to_striped(meter, v, threads, per)
+        np.testing.assert_array_equal(s, [0, 10, 1, 11, 2, 12])
+
+    def test_size_mismatch(self, meter):
+        with pytest.raises(ValueError):
+            blocked_to_striped(meter, np.arange(5), 2, 3)
+
+
+class TestBitsRequired:
+    @pytest.mark.parametrize(
+        "value,bits", [(0, 1), (1, 1), (2, 2), (255, 8), (256, 9), (2**23 - 1, 23)]
+    )
+    def test_values(self, value, bits):
+        assert bits_required(value) == bits
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            bits_required(-1)
+
+
+class TestRadixSort:
+    def test_sorts(self, meter, rng):
+        keys = rng.integers(0, 1 << 16, 500).astype(np.uint64)
+        perm = radix_sort_permutation(meter, keys, 16)
+        assert np.all(np.diff(keys[perm].astype(np.int64)) >= 0)
+
+    def test_stable(self, meter, rng):
+        """Equal keys keep input order — the bit-stability foundation."""
+        keys = rng.integers(0, 8, 400).astype(np.uint64)
+        perm = radix_sort_permutation(meter, keys, 3)
+        np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))
+
+    def test_only_low_bits_sorted(self, meter):
+        # keys differing only above key_bits compare equal (stable order):
+        # low 4 bits are [0, 0, 0, 1], so order is preserved except the
+        # single low-bits-1 key moving last
+        keys = np.array([1 << 10, 0, 1 << 10, 1], dtype=np.uint64)
+        perm = radix_sort_permutation(meter, keys, 4)
+        np.testing.assert_array_equal(perm, [0, 1, 2, 3])
+        keys2 = np.array([1, 1 << 10, 0], dtype=np.uint64)
+        perm2 = radix_sort_permutation(meter, keys2, 4)
+        np.testing.assert_array_equal(perm2, [1, 2, 0])
+
+    def test_pass_count_charged(self):
+        m = CostMeter(config=TITAN_XP)
+        radix_sort_permutation(m, np.arange(10, dtype=np.uint64), 24, bits_per_pass=8)
+        assert m.counters.sort_passes == 6  # meter charges ceil(24/4)
+
+    def test_pairs(self, meter, rng):
+        keys = rng.integers(0, 100, 50).astype(np.uint64)
+        vals = rng.random(50)
+        ks, vs = radix_sort_pairs(meter, keys, vals, 7)
+        order = np.argsort(keys, kind="stable")
+        np.testing.assert_array_equal(ks, keys[order])
+        np.testing.assert_array_equal(vs, vals[order])
+
+    def test_empty(self, meter):
+        perm = radix_sort_permutation(meter, np.zeros(0, dtype=np.uint64), 8)
+        assert perm.shape == (0,)
+
+    def test_bad_bits(self, meter):
+        with pytest.raises(ValueError):
+            radix_sort_permutation(meter, np.array([1], dtype=np.uint64), 0)

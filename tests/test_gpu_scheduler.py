@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic block scheduler."""
+
+import pytest
+
+from repro.gpu import schedule_blocks
+
+
+def test_single_sm_sums():
+    t = schedule_blocks([10.0, 20.0, 5.0], num_sms=1)
+    assert t.makespan_cycles == 35.0
+    assert t.sm_busy_cycles == (35.0,)
+
+
+def test_perfect_balance():
+    t = schedule_blocks([10.0] * 4, num_sms=4)
+    assert t.makespan_cycles == 10.0
+    assert t.multiprocessor_load == 1.0
+
+
+def test_greedy_earliest_available():
+    # blocks 30, 10, 10, 10 on 2 SMs: SM0 gets 30; SM1 gets 10,10,10
+    t = schedule_blocks([30.0, 10.0, 10.0, 10.0], num_sms=2)
+    assert t.makespan_cycles == 30.0
+    assert sorted(t.sm_busy_cycles) == [30.0, 30.0]
+
+
+def test_imbalance_reported():
+    t = schedule_blocks([100.0, 1.0], num_sms=2)
+    assert t.multiprocessor_load == pytest.approx(0.01)
+
+
+def test_launch_overhead_added():
+    t = schedule_blocks([10.0], num_sms=2, launch_overhead=5.0)
+    assert t.makespan_cycles == 15.0
+
+
+def test_empty_kernel():
+    t = schedule_blocks([], num_sms=4, launch_overhead=3.0)
+    assert t.makespan_cycles == 3.0
+    assert t.n_blocks == 0
+    assert t.multiprocessor_load == 1.0
+
+
+def test_deterministic():
+    blocks = [float((i * 37) % 11 + 1) for i in range(100)]
+    t1 = schedule_blocks(blocks, num_sms=7)
+    t2 = schedule_blocks(blocks, num_sms=7)
+    assert t1 == t2
+
+
+def test_makespan_bounds():
+    """List scheduling is within 2x of the lower bounds."""
+    blocks = [float((i * 13) % 29 + 1) for i in range(200)]
+    t = schedule_blocks(blocks, num_sms=8)
+    lower = max(max(blocks), sum(blocks) / 8)
+    assert lower <= t.makespan_cycles <= 2 * lower
+
+
+def test_rejects_bad_input():
+    with pytest.raises(ValueError, match="num_sms"):
+        schedule_blocks([1.0], num_sms=0)
+    with pytest.raises(ValueError, match="non-negative"):
+        schedule_blocks([-1.0], num_sms=2)
+
+
+def test_total_cycles_conserved():
+    blocks = [3.0, 4.0, 5.0]
+    t = schedule_blocks(blocks, num_sms=2)
+    assert t.total_block_cycles == pytest.approx(12.0)

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: realistic multi-step workflows."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AcSpgemmOptions,
+    CSRMatrix,
+    ac_spgemm,
+    spgemm_reference,
+    transpose,
+)
+from repro.baselines import GPU_ALGORITHMS, make_algorithm
+from repro.gpu import SMALL_DEVICE
+from repro.matrices import NAMED_COLLECTION, banded, power_law, stencil_2d
+from repro.sparse import squared_operands, validate_csr
+
+
+@pytest.fixture
+def opts():
+    return AcSpgemmOptions(device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20)
+
+
+class TestChainedProducts:
+    def test_matrix_power_chain(self, opts):
+        """A^4 via repeated AC-SpGEMM equals the reference power."""
+        a = power_law(200, 3, seed=9)
+        acc = a
+        ref = a
+        for _ in range(3):
+            acc = ac_spgemm(acc, a, opts).matrix
+            ref = spgemm_reference(ref, a)
+            assert acc.allclose(ref, rtol=1e-9)
+
+    def test_triple_product(self, opts):
+        a = stencil_2d(12, seed=1)
+        p_dense = np.zeros((144, 36))
+        for i in range(144):
+            p_dense[i, i % 36] = 1.0
+        p = CSRMatrix.from_dense(p_dense)
+        r = transpose(p)
+        coarse = ac_spgemm(r, ac_spgemm(a, p, opts).matrix, opts)
+        ref = spgemm_reference(r, spgemm_reference(a, p))
+        assert coarse.matrix.allclose(ref, rtol=1e-9)
+
+
+class TestAllAlgorithmsAgree:
+    def test_same_structure_everywhere(self, opts):
+        """All seven GPU implementations produce identical sparsity and
+        numerically equal values on the same input."""
+        a = banded(120, 5, seed=4, fill=0.9)
+        results = {
+            name: make_algorithm(name).multiply(a, a).matrix
+            for name in GPU_ALGORITHMS
+        }
+        base = results["ac-spgemm"]
+        for name, m in results.items():
+            np.testing.assert_array_equal(m.row_ptr, base.row_ptr, err_msg=name)
+            np.testing.assert_array_equal(m.col_idx, base.col_idx, err_msg=name)
+            assert m.allclose(base, rtol=1e-9), name
+
+
+class TestNamedCollectionEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["scircuit", "landmark", "stat96v2", "webbase-1M"]
+    )
+    def test_named_case_correct(self, name):
+        entry = next(m for m in NAMED_COLLECTION if m.name == name)
+        a, b = squared_operands(entry.build())
+        res = ac_spgemm(a, b, AcSpgemmOptions(chunk_pool_lower_bound_bytes=1 << 22))
+        ref = spgemm_reference(a, b)
+        assert res.matrix.allclose(ref, rtol=1e-9)
+        validate_csr(res.matrix)
+
+
+class TestDeviceGeometrySweep:
+    @pytest.mark.parametrize("threads,nnz_pt,keep", [(32, 4, 1), (64, 8, 4), (128, 2, 1)])
+    def test_geometry_variants_correct(self, threads, nnz_pt, keep, rng):
+        from repro.gpu import DeviceConfig
+        from tests.conftest import random_csr
+
+        device = DeviceConfig(
+            num_sms=4,
+            threads_per_block=threads,
+            nnz_per_thread=nnz_pt,
+            keep_per_thread=keep,
+            nnz_per_block_glb=threads // 2,
+            scratchpad_bytes=16 * 1024,
+        )
+        opts = AcSpgemmOptions(device=device, chunk_pool_lower_bound_bytes=1 << 20)
+        a = random_csr(rng, 60, 60, 0.1)
+        assert ac_spgemm(a, a, opts).matrix.allclose(spgemm_reference(a, a))
+
+
+class TestExtremePatterns:
+    def test_single_dense_row(self, opts):
+        d = np.zeros((50, 50))
+        d[7, :] = 1.0
+        d[:, 7] = 1.0
+        a = CSRMatrix.from_dense(d)
+        assert ac_spgemm(a, a, opts).matrix.allclose(spgemm_reference(a, a))
+
+    def test_single_dense_column_in_b(self, opts):
+        rng = np.random.default_rng(0)
+        da = (rng.random((40, 40)) < 0.2) * 1.0
+        db = np.zeros((40, 40))
+        db[:, 3] = rng.random(40)
+        a, b = CSRMatrix.from_dense(da), CSRMatrix.from_dense(db)
+        assert ac_spgemm(a, b, opts).matrix.allclose(spgemm_reference(a, b))
+
+    def test_permutation_matrix(self, opts):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(80)
+        p = CSRMatrix.from_dense(np.eye(80)[perm])
+        a = CSRMatrix.from_dense((rng.random((80, 80)) < 0.1) * 1.0)
+        res = ac_spgemm(p, a, opts).matrix
+        np.testing.assert_allclose(res.to_dense(), a.to_dense()[perm])
+
+    def test_all_entries_one_row_of_a(self, opts):
+        d = np.zeros((30, 30))
+        d[0, :] = np.linspace(1, 2, 30)
+        a = CSRMatrix.from_dense(d)
+        rng = np.random.default_rng(2)
+        b = CSRMatrix.from_dense((rng.random((30, 30)) < 0.3) * 1.0)
+        assert ac_spgemm(a, b, opts).matrix.allclose(spgemm_reference(a, b))
+
+    def test_values_with_extreme_magnitudes(self, opts):
+        rng = np.random.default_rng(3)
+        d = (rng.random((40, 40)) < 0.15) * np.exp(
+            rng.uniform(-30, 30, (40, 40))
+        )
+        a = CSRMatrix.from_dense(d)
+        res = ac_spgemm(a, a, opts)
+        ref = spgemm_reference(a, a)
+        assert res.matrix.allclose(ref, rtol=1e-9)

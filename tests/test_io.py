@@ -1,0 +1,148 @@
+"""Unit tests for Matrix Market and binary I/O."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix, load_matrix
+from repro.sparse import (
+    MatrixMarketError,
+    load_binary,
+    read_matrix_market,
+    save_binary,
+    write_matrix_market,
+)
+from tests.conftest import random_csr
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, rng):
+        m = random_csr(rng, 12, 9, 0.3)
+        p = tmp_path / "m.mtx"
+        write_matrix_market(p, m)
+        back = read_matrix_market(p)
+        assert m.allclose(back, rtol=1e-15)
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = tmp_path / "sym.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 5.0\n"
+            "2 1 2.0\n"
+            "3 2 7.0\n"
+        )
+        m = read_matrix_market(p)
+        expected = np.array([[5, 2, 0], [2, 0, 7], [0, 7, 0]], dtype=float)
+        np.testing.assert_array_equal(m.to_dense(), expected)
+
+    def test_skew_symmetric(self, tmp_path):
+        p = tmp_path / "skew.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        m = read_matrix_market(p)
+        np.testing.assert_array_equal(
+            m.to_dense(), np.array([[0, -3.0], [3.0, 0]])
+        )
+
+    def test_pattern_entries_get_unit_values(self, tmp_path):
+        p = tmp_path / "pat.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 3 2\n"
+            "1 2\n"
+            "2 3\n"
+        )
+        m = read_matrix_market(p)
+        assert m.nnz == 2
+        np.testing.assert_array_equal(m.values, [1.0, 1.0])
+
+    def test_array_format(self, tmp_path):
+        p = tmp_path / "arr.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix array real general\n"
+            "2 2\n"
+            "1.0\n0.0\n3.0\n4.0\n"
+        )
+        m = read_matrix_market(p)
+        np.testing.assert_array_equal(
+            m.to_dense(), np.array([[1.0, 3.0], [0.0, 4.0]])
+        )
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "c.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "1 1 1\n"
+            "1 1 2.5\n"
+        )
+        assert read_matrix_market(p).values[0] == 2.5
+
+    def test_duplicates_summed(self, tmp_path):
+        p = tmp_path / "d.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "1 1 2\n"
+            "1 1 1.0\n"
+            "1 1 2.0\n"
+        )
+        m = read_matrix_market(p)
+        assert m.nnz == 1 and m.values[0] == 3.0
+
+    @pytest.mark.parametrize(
+        "banner,err",
+        [
+            ("%%NotMM matrix coordinate real general", "banner"),
+            ("%%MatrixMarket matrix weird real general", "format"),
+            ("%%MatrixMarket matrix coordinate complex general", "complex"),
+            ("%%MatrixMarket matrix coordinate real hermitian", "hermitian"),
+        ],
+    )
+    def test_bad_headers(self, tmp_path, banner, err):
+        p = tmp_path / "bad.mtx"
+        p.write_text(banner + "\n1 1 0\n")
+        with pytest.raises(MatrixMarketError, match=err):
+            read_matrix_market(p)
+
+    def test_wrong_entry_count(self, tmp_path):
+        p = tmp_path / "short.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="expected 3"):
+            read_matrix_market(p)
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "e.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n3 4 0\n")
+        m = read_matrix_market(p)
+        assert m.shape == (3, 4) and m.nnz == 0
+
+
+class TestBinary:
+    def test_round_trip(self, tmp_path, rng):
+        m = random_csr(rng, 20, 20, 0.2)
+        p = tmp_path / "m.npz"
+        save_binary(p, m)
+        assert load_binary(p).exactly_equal(m)
+
+    def test_load_matrix_builds_cache(self, tmp_path, rng):
+        m = random_csr(rng, 10, 10, 0.3)
+        p = tmp_path / "m.mtx"
+        write_matrix_market(p, m)
+        first = load_matrix(p)
+        assert (tmp_path / "m.npz").exists()
+        second = load_matrix(p)  # from cache
+        assert first.exactly_equal(second)
+
+    def test_load_matrix_npz_direct(self, tmp_path, rng):
+        m = random_csr(rng, 8, 8, 0.4)
+        p = tmp_path / "x.npz"
+        save_binary(p, m)
+        assert load_matrix(p).exactly_equal(m)

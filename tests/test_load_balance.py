@@ -1,0 +1,90 @@
+"""Unit tests for global load balancing (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix
+from repro.core import global_load_balance
+from repro.gpu import CostMeter, TITAN_XP
+from tests.conftest import random_csr
+
+
+def reference_algorithm1(row_ptr: np.ndarray, nnz_per_block: int, n_blocks: int):
+    """Literal per-row loop of Algorithm 1 (the paper's pseudocode)."""
+    out = np.zeros(n_blocks, dtype=np.int64)
+    for tid in range(row_ptr.shape[0] - 1):
+        a, b = int(row_ptr[tid]), int(row_ptr[tid + 1])
+        if b == a:
+            continue
+        block_a = -(-a // nnz_per_block)  # divup
+        block_b = (b - 1) // nnz_per_block
+        for blk in range(block_a, block_b + 1):
+            out[blk] = tid
+    return out
+
+
+@pytest.fixture
+def meter():
+    return CostMeter(config=TITAN_XP)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("nnz_per_block", [4, 16, 64])
+def test_matches_literal_algorithm1(seed, nnz_per_block, meter):
+    rng = np.random.default_rng(seed)
+    m = random_csr(rng, 50, 50, 0.1)
+    glb = global_load_balance(m, nnz_per_block, meter)
+    expected = reference_algorithm1(m.row_ptr, nnz_per_block, glb.n_blocks)
+    np.testing.assert_array_equal(glb.block_row_starts, expected)
+
+
+def test_block_count():
+    m = CSRMatrix.from_dense(np.ones((10, 10)))
+    meter = CostMeter(config=TITAN_XP)
+    glb = global_load_balance(m, 16, meter)
+    assert glb.n_blocks == -(-100 // 16)
+
+
+def test_block_row_starts_point_at_covering_rows(rng, meter):
+    m = random_csr(rng, 30, 30, 0.2)
+    glb = global_load_balance(m, 8, meter)
+    for blk in range(glb.n_blocks):
+        first_nnz = blk * 8
+        row = glb.block_row_starts[blk]
+        assert m.row_ptr[row] <= first_nnz < m.row_ptr[row + 1]
+
+
+def test_row_of_nnz_expansion(rng, meter):
+    m = random_csr(rng, 20, 20, 0.3)
+    glb = global_load_balance(m, 8, meter)
+    assert glb.row_of_nnz.shape[0] == m.nnz
+    for i in range(m.rows):
+        lo, hi = m.row_ptr[i], m.row_ptr[i + 1]
+        assert (glb.row_of_nnz[lo:hi] == i).all()
+
+
+def test_empty_matrix(meter):
+    glb = global_load_balance(CSRMatrix.empty(5, 5), 8, meter)
+    assert glb.n_blocks == 0
+    assert glb.block_row_starts.shape == (0,)
+
+
+def test_empty_rows_skipped(meter):
+    # rows 0 and 2 empty; all nnz in row 1
+    m = CSRMatrix(
+        3, 4, np.array([0, 0, 4, 4]), np.array([0, 1, 2, 3]), np.ones(4)
+    )
+    glb = global_load_balance(m, 2, meter)
+    np.testing.assert_array_equal(glb.block_row_starts, [1, 1])
+
+
+def test_cost_charged(meter, rng):
+    m = random_csr(rng, 100, 100, 0.1)
+    global_load_balance(m, 16, meter)
+    assert meter.cycles > 0
+    assert meter.counters.global_bytes_read > 0
+
+
+def test_rejects_bad_block_size(meter, rng):
+    with pytest.raises(ValueError):
+        global_load_balance(random_csr(rng, 5, 5, 0.5), 0, meter)

@@ -1,0 +1,163 @@
+"""Tests for the synthetic matrix generators, the named collection and
+the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    NAMED_COLLECTION,
+    banded,
+    bipartite_design,
+    block_dense,
+    build,
+    diagonal_dominant,
+    long_row_matrix,
+    lp_matrix,
+    names,
+    power_law,
+    random_uniform,
+    road_network,
+    stencil_2d,
+    stencil_3d,
+    suite_entries,
+)
+from repro.sparse import matrix_stats, validate_csr
+
+
+ALL_GENERATORS = [
+    ("uniform", lambda s: random_uniform(300, 300, 5, seed=s)),
+    ("banded", lambda s: banded(200, 3, seed=s)),
+    ("banded-fill", lambda s: banded(200, 3, seed=s, fill=0.8)),
+    ("stencil2d", lambda s: stencil_2d(14, seed=s)),
+    ("stencil3d", lambda s: stencil_3d(6, seed=s)),
+    ("powerlaw", lambda s: power_law(400, 4, seed=s)),
+    ("road", lambda s: road_network(500, seed=s)),
+    ("blockdense", lambda s: block_dense(150, 30, n_blocks=2, seed=s)),
+    ("longrow", lambda s: long_row_matrix(300, 3, 2, 80, seed=s)),
+    ("design", lambda s: bipartite_design(20, 200, 30, seed=s)),
+    ("lp", lambda s: lp_matrix(50, 500, 20, seed=s)),
+    ("diag", lambda s: diagonal_dominant(200, 4, seed=s)),
+]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name,gen", ALL_GENERATORS)
+    def test_canonical_output(self, name, gen):
+        m = gen(0)
+        validate_csr(m)
+        assert m.nnz > 0
+        assert np.isfinite(m.values).all()
+        assert (m.values != 0).all()
+
+    @pytest.mark.parametrize("name,gen", ALL_GENERATORS)
+    def test_deterministic_by_seed(self, name, gen):
+        assert gen(7).exactly_equal(gen(7))
+
+    @pytest.mark.parametrize("name,gen", ALL_GENERATORS)
+    def test_seed_changes_matrix(self, name, gen):
+        assert not gen(1).exactly_equal(gen(2))
+
+    def test_uniform_hits_target_row_length(self):
+        m = random_uniform(2000, 2000, 8, seed=0)
+        assert abs(matrix_stats(m).mean_row_length - 8) < 1.0
+
+    def test_banded_structure(self):
+        m = banded(50, 2, seed=0)
+        row_ids = np.repeat(np.arange(50), m.row_lengths())
+        assert (np.abs(m.col_idx - row_ids) <= 2).all()
+
+    def test_stencil_2d_interior_degree(self):
+        m = stencil_2d(10)
+        # interior nodes have 5 entries (self + 4 neighbours)
+        assert matrix_stats(m).max_row_length == 5
+
+    def test_stencil_3d_interior_degree(self):
+        assert matrix_stats(stencil_3d(6)).max_row_length == 7
+
+    def test_power_law_has_hubs(self):
+        m = power_law(2000, 4, seed=1)
+        st = matrix_stats(m)
+        assert st.max_row_length > 8 * st.mean_row_length
+
+    def test_road_network_tiny_rows(self):
+        st = matrix_stats(road_network(3000, seed=0))
+        assert st.mean_row_length < 5
+
+    def test_block_dense_long_rows(self):
+        st = matrix_stats(block_dense(300, 60, n_blocks=2, seed=0))
+        assert st.max_row_length > 30
+
+    def test_long_row_matrix(self):
+        m = long_row_matrix(500, 3, 2, 200, seed=0)
+        st = matrix_stats(m)
+        assert st.max_row_length >= 150
+        assert st.mean_row_length < 6
+
+    def test_design_rows_equal_length(self):
+        m = bipartite_design(10, 100, 25, seed=0)
+        assert (m.row_lengths() == 25).all()
+
+    def test_diagonal_present(self):
+        m = diagonal_dominant(100, 2, seed=0)
+        dense = m.to_dense()
+        assert (np.diag(dense) != 0).all()
+
+
+class TestNamedCollection:
+    def test_all_names_build(self):
+        for name in names():
+            m = build(name)
+            validate_csr(m)
+            assert m.nnz > 1000
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown named matrix"):
+            build("nope")
+
+    def test_sparse_dense_split_matches_paper(self):
+        """Analogues stay on the same side of the a <= 42 split as the
+        paper's originals (Table 2)."""
+        for m in NAMED_COLLECTION:
+            analog = m.build()
+            a_ours = analog.nnz / analog.rows
+            a_paper = m.paper.a_len
+            if m.name == "bibd_19_9":
+                continue  # both >> 42 anyway
+            assert (a_ours <= 42) == (a_paper <= 42), m.name
+
+    def test_nonsquare_cases(self):
+        for name in ("stat96v2", "bibd_19_9", "landmark"):
+            m = build(name)
+            assert m.rows != m.cols, name
+
+    def test_paper_stats_recorded(self):
+        m = NAMED_COLLECTION[0]
+        assert m.paper.temp > 0
+        assert m.paper.compaction > 0
+
+    def test_deterministic(self):
+        assert build("scircuit").exactly_equal(build("scircuit"))
+
+
+class TestSuite:
+    def test_suite_size_and_naming(self):
+        entries = suite_entries()
+        assert len(entries) >= 60
+        assert len({e.name for e in entries}) == len(entries)
+
+    def test_family_filter(self):
+        roads = suite_entries({"road"})
+        assert roads and all(e.family == "road" for e in roads)
+
+    def test_sparse_fraction_matches_paper(self):
+        """~80% of the population is highly sparse (Fig. 1 / §4.1)."""
+        sparse = total = 0
+        for e in suite_entries():
+            m = e.build()
+            total += 1
+            sparse += (m.nnz / m.rows) <= 42
+        assert 0.7 <= sparse / total <= 0.92
+
+    def test_entries_build_canonical(self):
+        for e in suite_entries()[:10]:
+            validate_csr(e.build())

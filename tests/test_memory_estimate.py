@@ -1,0 +1,67 @@
+"""Unit tests for the chunk-pool memory estimate (§4)."""
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, CSRMatrix
+from repro.core import estimate_chunk_pool_bytes, estimate_output_entries
+from repro.sparse import spgemm_reference
+from tests.conftest import random_csr
+
+
+def test_formula_value():
+    # nA=100, b-avg=4, mB=1000: S = nA * mB * (1 - (1-pb)^a)
+    a = CSRMatrix.from_dense(np.zeros((100, 200)))
+    # build A with exactly 2 nnz/row and B with 4 nnz/row
+    rng = np.random.default_rng(0)
+    a = random_csr(rng, 100, 200, 2 / 200)
+    b = random_csr(rng, 200, 1000, 4 / 1000)
+    est = estimate_output_entries(a, b)
+    avg_a = a.nnz / a.rows
+    avg_b = b.nnz / b.rows
+    p_b = avg_b / 1000
+    expected = 100 * avg_b * (1 - (1 - p_b) ** avg_a) / p_b
+    assert est == pytest.approx(expected)
+
+
+def test_estimate_tracks_actual_nnz(rng):
+    """Under the uniform model the estimate is within a small factor of
+    the real output size."""
+    a = random_csr(rng, 300, 300, 0.03)
+    est = estimate_output_entries(a, a)
+    actual = spgemm_reference(a, a).nnz
+    assert 0.5 * actual < est < 2.0 * actual
+
+
+def test_empty_inputs():
+    e = CSRMatrix.empty(10, 10)
+    assert estimate_output_entries(e, e) == 0.0
+
+
+def test_fully_dense_capped():
+    d = CSRMatrix.from_dense(np.ones((20, 20)))
+    assert estimate_output_entries(d, d) <= 400 * 1.0001
+
+
+def test_pool_bytes_lower_bound(rng):
+    a = random_csr(rng, 20, 20, 0.1)
+    opts = AcSpgemmOptions()
+    assert (
+        estimate_chunk_pool_bytes(a, a, opts)
+        == opts.chunk_pool_lower_bound_bytes
+    )
+
+
+def test_pool_bytes_explicit_override(rng):
+    a = random_csr(rng, 20, 20, 0.1)
+    opts = AcSpgemmOptions(chunk_pool_bytes=12345)
+    assert estimate_chunk_pool_bytes(a, a, opts) == 12345
+
+
+def test_meta_factor_applied(rng):
+    a = random_csr(rng, 400, 400, 0.05)
+    o1 = AcSpgemmOptions(chunk_pool_lower_bound_bytes=0, chunk_meta_factor=1.2)
+    o2 = AcSpgemmOptions(chunk_pool_lower_bound_bytes=0, chunk_meta_factor=2.4)
+    assert estimate_chunk_pool_bytes(a, a, o2) == pytest.approx(
+        2 * estimate_chunk_pool_bytes(a, a, o1), rel=0.01
+    )

@@ -1,0 +1,259 @@
+"""Unit tests for merge assignment and the three merge algorithms (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, CSRMatrix
+from repro.core import (
+    Chunk,
+    ChunkPool,
+    MultiMergeBlock,
+    PathMergeBlock,
+    RowChunkTracker,
+    SearchMergeBlock,
+    assign_merges,
+)
+from repro.core.chunks import PoolExhausted
+from repro.gpu import BlockContext, CostMeter, SMALL_DEVICE
+
+
+@pytest.fixture
+def options():
+    return AcSpgemmOptions(device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20)
+
+
+@pytest.fixture
+def meter(options):
+    return CostMeter(config=options.device)
+
+
+def make_chunk(order, row, cols, vals):
+    cols = np.asarray(cols, dtype=np.int64)
+    return Chunk(
+        order_key=order,
+        kind="data",
+        first_row=row,
+        last_row=row,
+        rows=np.full(cols.shape[0], row, dtype=np.int64),
+        cols=cols,
+        vals=np.asarray(vals, dtype=np.float64),
+    )
+
+
+def shared_row_setup(row, parts, meter, n_rows=10):
+    """Tracker with one row covered by several single-row chunks."""
+    tracker = RowChunkTracker(n_rows=n_rows)
+    for i, (cols, vals) in enumerate(parts):
+        tracker.insert_chunk(make_chunk((i, 0), row, cols, vals), None, meter)
+    return tracker
+
+
+def merged_dense(tracker, row, b, n_cols):
+    out = np.zeros(n_cols)
+    for chunk in tracker.chunks_for(row):
+        seg = chunk.row_segment(row)
+        base = chunk.segment_offset(row)
+        cols = chunk.columns(b)[seg]
+        vals = chunk.values(b)[seg]
+        np.add.at(out, np.asarray(cols), np.asarray(vals))
+    return out
+
+
+class TestAssignment:
+    def test_classification(self, options, meter):
+        tracker = RowChunkTracker(n_rows=20)
+        capacity = options.device.elements_per_block
+        # row 1: two small chunks -> multi merge
+        for i in range(2):
+            tracker.insert_chunk(make_chunk((i, 0), 1, [i], [1.0]), None, meter)
+        # row 2: five chunks -> path merge
+        for i in range(5):
+            tracker.insert_chunk(make_chunk((i, 1), 2, [i], [1.0]), None, meter)
+        # row 3: more chunks than the path limit -> search merge
+        for i in range(options.path_merge_max_chunks + 1):
+            tracker.insert_chunk(make_chunk((i, 2), 3, [i], [1.0]), None, meter)
+        # row 4: two chunks but oversized -> escalated past multi merge
+        big = np.arange(capacity, dtype=np.int64)
+        for i in range(2):
+            tracker.insert_chunk(
+                make_chunk((i, 3), 4, big, np.ones(capacity)), None, meter
+            )
+        a = assign_merges(tracker, options, meter)
+        assert any(1 in g for g in a.multi_groups)
+        assert 2 in a.path_rows
+        assert 3 in a.search_rows
+        assert 4 in a.path_rows  # 2 chunks but > capacity
+        assert a.n_shared_rows == 4
+
+    def test_packing_respects_capacity(self, options, meter):
+        tracker = RowChunkTracker(n_rows=64)
+        cap = options.device.elements_per_block
+        per_row = cap // 2 + 1  # two rows don't fit together
+        cols = np.arange(per_row, dtype=np.int64)
+        for row in range(4):
+            for i in range(2):
+                tracker.insert_chunk(
+                    make_chunk((i, row), row, cols[: per_row // 2], np.ones(per_row // 2)),
+                    None,
+                    meter,
+                )
+        a = assign_merges(tracker, options, meter)
+        for group in a.multi_groups:
+            total = sum(int(tracker.row_counts[r]) for r in group)
+            assert total <= cap
+
+    def test_no_shared_rows(self, options, meter):
+        tracker = RowChunkTracker(n_rows=5)
+        a = assign_merges(tracker, options, meter)
+        assert a.n_shared_rows == 0
+
+
+class TestMultiMerge:
+    def test_merges_two_chunks(self, options, meter):
+        tracker = shared_row_setup(
+            3,
+            [([1, 5, 9], [1.0, 2.0, 3.0]), ([5, 7], [10.0, 20.0])],
+            meter,
+        )
+        pool = ChunkPool(capacity_bytes=1 << 16)
+        block = MultiMergeBlock(block_index=0, rows=(3,))
+        ctx = BlockContext(config=options.device, block_id=0)
+        chunk = block.run(ctx, tracker, pool, None, options)
+        np.testing.assert_array_equal(chunk.cols, [1, 5, 7, 9])
+        np.testing.assert_array_equal(chunk.vals, [1.0, 12.0, 20.0, 3.0])
+        assert tracker.row_counts[3] == 4
+        assert tracker.chunks_for(3) == [chunk]
+
+    def test_accumulation_order_by_chunk_key(self, options, meter):
+        """Merge accumulates in global chunk order, not insertion order."""
+        tracker = RowChunkTracker(n_rows=5)
+        # insert the LATER chunk first; values chosen so order matters
+        tracker.insert_chunk(make_chunk((7, 0), 2, [4], [1.0]), None, meter)
+        tracker.insert_chunk(make_chunk((1, 0), 2, [4], [1e16]), None, meter)
+        pool = ChunkPool(capacity_bytes=1 << 16)
+        block = MultiMergeBlock(block_index=0, rows=(2,))
+        ctx = BlockContext(config=options.device, block_id=0)
+        chunk = block.run(ctx, tracker, pool, None, options)
+        # (1e16 + 1.0) in chunk order; insertion order would give 1.0 + 1e16
+        assert chunk.vals[0] == 1e16 + 1.0
+
+    def test_pool_exhaustion_restartable(self, options, meter):
+        tracker = shared_row_setup(
+            1, [([0, 1], [1.0, 1.0]), ([1, 2], [1.0, 1.0])], meter
+        )
+        pool = ChunkPool(capacity_bytes=8)  # too small for the result
+        block = MultiMergeBlock(block_index=0, rows=(1,))
+        ctx = BlockContext(config=options.device, block_id=0)
+        with pytest.raises(PoolExhausted):
+            block.run(ctx, tracker, pool, None, options)
+        # restart from scratch after growth
+        pool.grow(1 << 16)
+        ctx2 = BlockContext(config=options.device, block_id=1)
+        chunk = block.run(ctx2, tracker, pool, None, options)
+        np.testing.assert_array_equal(chunk.cols, [0, 1, 2])
+
+
+class TestIterativeMerges:
+    def build_large_shared_row(self, meter, n_chunks, per_chunk, n_cols, seed=0):
+        rng = np.random.default_rng(seed)
+        parts = []
+        for _ in range(n_chunks):
+            cols = np.sort(rng.choice(n_cols, size=per_chunk, replace=False))
+            parts.append((cols, rng.random(per_chunk)))
+        tracker = shared_row_setup(0, parts, meter, n_rows=4)
+        expected = np.zeros(n_cols)
+        for cols, vals in parts:
+            np.add.at(expected, cols, vals)
+        return tracker, expected
+
+    @pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+    def test_merges_exceeding_capacity(self, merge_cls, options, meter):
+        cap = options.device.elements_per_block
+        tracker, expected = self.build_large_shared_row(
+            meter, n_chunks=4, per_chunk=cap, n_cols=5 * cap
+        )
+        pool = ChunkPool(capacity_bytes=1 << 20)
+        block = merge_cls(block_index=0, row=0)
+        ctx = BlockContext(config=options.device, block_id=0)
+        assert block.run(ctx, tracker, pool, None, options)
+        # multiple output chunks with ascending, disjoint column ranges
+        produced = tracker.chunks_for(0)
+        assert len(produced) > 1
+        prev_max = -1
+        offset = 0
+        for c in produced:
+            assert int(c.cols.min()) > prev_max
+            prev_max = int(c.cols.max())
+            assert c.segment_offset(0) == offset
+            offset += c.count
+        np.testing.assert_allclose(
+            merged_dense(tracker, 0, None, 5 * cap), expected, rtol=1e-12
+        )
+        assert tracker.row_counts[0] == offset
+
+    @pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+    def test_duplicate_heavy_row(self, merge_cls, options, meter):
+        """All chunks share the same few columns: compaction across the
+        capacity cut must keep duplicates together."""
+        cap = options.device.elements_per_block
+        cols = np.arange(0, 4 * cap, 4, dtype=np.int64)  # cap entries
+        parts = [(cols, np.full(cols.shape[0], float(i + 1))) for i in range(5)]
+        tracker = shared_row_setup(0, parts, meter, n_rows=2)
+        pool = ChunkPool(capacity_bytes=1 << 20)
+        block = merge_cls(block_index=0, row=0)
+        ctx = BlockContext(config=options.device, block_id=0)
+        assert block.run(ctx, tracker, pool, None, options)
+        out = merged_dense(tracker, 0, None, 4 * cap)
+        expected = np.zeros(4 * cap)
+        np.add.at(expected, cols, np.full(cols.shape[0], 15.0))
+        np.testing.assert_allclose(out, expected)
+
+    @pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+    def test_restart_preserves_cursors(self, merge_cls, options, meter):
+        cap = options.device.elements_per_block
+        tracker, expected = self.build_large_shared_row(
+            meter, n_chunks=3, per_chunk=cap, n_cols=4 * cap, seed=5
+        )
+        # pool fits roughly one output chunk; grow after each failure
+        pool = ChunkPool(capacity_bytes=cap * 12 + 64)
+        block = merge_cls(block_index=0, row=0)
+        rounds = 0
+        while True:
+            rounds += 1
+            assert rounds < 50
+            ctx = BlockContext(config=options.device, block_id=rounds)
+            if block.run(ctx, tracker, pool, None, options):
+                break
+            pool.grow(cap * 12 + 64)
+        assert rounds > 1, "restart path not exercised"
+        np.testing.assert_allclose(
+            merged_dense(tracker, 0, None, 4 * cap), expected, rtol=1e-12
+        )
+
+    def test_pointer_chunk_participates(self, options, meter):
+        """A long-row pointer chunk merges with a data chunk."""
+        b = CSRMatrix.from_dense(
+            np.vstack([np.linspace(1, 2, 400)] + [np.zeros(400)] * 2)
+        )
+        tracker = RowChunkTracker(n_rows=4)
+        pointer = Chunk(
+            order_key=(0, 0),
+            kind="pointer",
+            first_row=2,
+            last_row=2,
+            b_row=0,
+            factor=3.0,
+            b_length=400,
+        )
+        tracker.insert_chunk(pointer, b, meter)
+        data = make_chunk((1, 0), 2, [10, 50], [100.0, 200.0])
+        tracker.insert_chunk(data, b, meter)
+        pool = ChunkPool(capacity_bytes=1 << 20)
+        block = SearchMergeBlock(block_index=0, row=2)
+        ctx = BlockContext(config=options.device, block_id=0)
+        assert block.run(ctx, tracker, pool, b, options)
+        out = merged_dense(tracker, 2, b, 400)
+        expected = 3.0 * b.to_dense()[0]
+        expected[10] += 100.0
+        expected[50] += 200.0
+        np.testing.assert_allclose(out, expected, rtol=1e-12)

@@ -1,0 +1,145 @@
+"""Adversarial inputs for the iterative merge cut selection."""
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions
+from repro.core import Chunk, ChunkPool, RowChunkTracker
+from repro.core.merge_path import PathMergeBlock
+from repro.core.merge_search import SearchMergeBlock
+from repro.gpu import BlockContext, CostMeter, SMALL_DEVICE
+
+
+@pytest.fixture
+def options():
+    return AcSpgemmOptions(device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 20)
+
+
+def tracker_with_row(parts, meter, row=0):
+    tracker = RowChunkTracker(n_rows=4)
+    for i, (cols, vals) in enumerate(parts):
+        cols = np.asarray(cols, dtype=np.int64)
+        chunk = Chunk(
+            order_key=(i, 0),
+            kind="data",
+            first_row=row,
+            last_row=row,
+            rows=np.full(cols.shape[0], row, dtype=np.int64),
+            cols=cols,
+            vals=np.asarray(vals, dtype=np.float64),
+        )
+        tracker.insert_chunk(chunk, None, meter)
+    return tracker
+
+
+def run_to_completion(block, tracker, options, pool_bytes=1 << 20):
+    pool = ChunkPool(capacity_bytes=pool_bytes)
+    ctx = BlockContext(config=options.device, block_id=0)
+    assert block.run(ctx, tracker, pool, None, options)
+    return tracker
+
+
+def merged_values(tracker, row, n_cols):
+    out = np.zeros(n_cols)
+    for chunk in tracker.chunks_for(row):
+        seg = chunk.row_segment(row)
+        np.add.at(out, chunk.cols[seg], chunk.vals[seg])
+    return out
+
+
+@pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+def test_bimodal_column_clusters(merge_cls, options):
+    """Columns concentrated in two far-apart clusters: uniform range
+    sampling lands almost entirely in the empty gap, forcing narrowing
+    (Search Merge) or refinement (Path Merge)."""
+    meter = CostMeter(config=options.device)
+    cap = options.device.elements_per_block
+    rng = np.random.default_rng(0)
+    n_cols = 1 << 20
+    lo_cluster = np.sort(rng.choice(2000, size=cap, replace=False))
+    hi_cluster = np.sort(
+        rng.choice(2000, size=cap, replace=False) + (n_cols - 2100)
+    )
+    parts = [
+        (lo_cluster, rng.random(cap)),
+        (hi_cluster, rng.random(cap)),
+        (np.concatenate([lo_cluster[:50], hi_cluster[:50]]),
+         rng.random(100)),
+    ]
+    expected = np.zeros(n_cols)
+    for cols, vals in parts:
+        np.add.at(expected, cols, vals)
+    tracker = tracker_with_row(parts, meter)
+    run_to_completion(merge_cls(block_index=0, row=0), tracker, options)
+    np.testing.assert_allclose(merged_values(tracker, 0, n_cols), expected)
+
+
+@pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+def test_single_hot_column_among_many(merge_cls, options):
+    """Every chunk holds the same hot column plus distinct filler: the
+    cut must always carry all duplicates of the hot column together."""
+    meter = CostMeter(config=options.device)
+    cap = options.device.elements_per_block
+    hot = 5000
+    parts = []
+    rng = np.random.default_rng(1)
+    for i in range(6):
+        filler = np.sort(
+            rng.choice(4000, size=cap - 1, replace=False) + i * 4500
+        )
+        cols = np.sort(np.append(filler, hot))
+        parts.append((cols, rng.random(cap)))
+    n_cols = 6 * 4500 + 5000
+    expected = np.zeros(n_cols)
+    for cols, vals in parts:
+        np.add.at(expected, cols, vals)
+    tracker = tracker_with_row(parts, meter)
+    run_to_completion(merge_cls(block_index=0, row=0), tracker, options)
+    got = merged_values(tracker, 0, n_cols)
+    np.testing.assert_allclose(got, expected)
+    # the hot column appears exactly once across the produced chunks
+    appearances = sum(
+        int(np.count_nonzero(c.cols[c.row_segment(0)] == hot))
+        for c in tracker.chunks_for(0)
+    )
+    assert appearances == 1
+
+
+@pytest.mark.parametrize("merge_cls", [SearchMergeBlock, PathMergeBlock])
+def test_identical_chunks(merge_cls, options):
+    """All chunks are copies of each other: maximal duplication, the
+    compaction factor equals the chunk count."""
+    meter = CostMeter(config=options.device)
+    cap = options.device.elements_per_block
+    cols = np.arange(0, 3 * cap, 3, dtype=np.int64)
+    parts = [(cols, np.full(cols.shape[0], 1.0)) for _ in range(4)]
+    tracker = tracker_with_row(parts, meter)
+    run_to_completion(merge_cls(block_index=0, row=0), tracker, options)
+    got = merged_values(tracker, 0, 3 * cap)
+    expected = np.zeros(3 * cap)
+    expected[cols] = 4.0
+    np.testing.assert_allclose(got, expected)
+    assert tracker.row_counts[0] == cols.shape[0]
+
+
+def test_search_merge_narrowing_terminates(options):
+    """A geometric column distribution (dense near zero, exponentially
+    sparse above) stresses the sub-sampling loop."""
+    meter = CostMeter(config=options.device)
+    rng = np.random.default_rng(2)
+    cap = options.device.elements_per_block
+    cols = np.unique(
+        (np.exp(rng.uniform(0, 14, size=3 * cap))).astype(np.int64)
+    )
+    parts = [
+        (cols, rng.random(cols.shape[0])),
+        (cols[::2], rng.random(cols[::2].shape[0])),
+        (cols[1::2], rng.random(cols[1::2].shape[0])),
+    ]
+    n_cols = int(cols.max()) + 1
+    tracker = tracker_with_row(parts, meter)
+    run_to_completion(SearchMergeBlock(block_index=0, row=0), tracker, options)
+    expected = np.zeros(n_cols)
+    for c, v in parts:
+        np.add.at(expected, c, v)
+    np.testing.assert_allclose(merged_values(tracker, 0, n_cols), expected)

@@ -1,0 +1,96 @@
+"""Unit tests for reference sparse operations."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix, count_intermediate_products, spgemm_reference
+from repro.sparse import add, scale, spmv, symbolic_nnz, spgemm_dense_check
+from tests.conftest import random_csr
+
+
+class TestSpgemmReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_csr(rng, 25, 30, 0.15)
+        b = random_csr(rng, 30, 20, 0.15)
+        ours = spgemm_reference(a, b)
+        ref = (a.to_scipy() @ b.to_scipy()).toarray()
+        np.testing.assert_allclose(ours.to_dense(), ref, rtol=1e-12)
+
+    def test_matches_dense_oracle(self, rng):
+        a = random_csr(rng, 8, 9, 0.3)
+        b = random_csr(rng, 9, 7, 0.3)
+        np.testing.assert_allclose(
+            spgemm_reference(a, b).to_dense(), spgemm_dense_check(a, b)
+        )
+
+    def test_output_sorted_rows(self, rng):
+        a = random_csr(rng, 20, 20, 0.2)
+        c = spgemm_reference(a, a)
+        from repro.sparse import validate_csr
+
+        validate_csr(c)
+
+    def test_dimension_mismatch(self, rng):
+        a = random_csr(rng, 4, 5, 0.5)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            spgemm_reference(a, a)
+
+    def test_empty_operand(self):
+        a = CSRMatrix.empty(3, 4)
+        b = CSRMatrix.empty(4, 5)
+        c = spgemm_reference(a, b)
+        assert c.shape == (3, 5) and c.nnz == 0
+
+    def test_identity_is_neutral(self, medium_matrix):
+        eye = CSRMatrix.identity(medium_matrix.cols)
+        assert spgemm_reference(medium_matrix, eye).allclose(medium_matrix)
+
+    def test_deterministic(self, rng):
+        a = random_csr(rng, 30, 30, 0.2)
+        assert spgemm_reference(a, a).exactly_equal(spgemm_reference(a, a))
+
+
+class TestCounting:
+    def test_count_intermediate_products(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        # row0 of A hits B rows 0 (len2) + 1 (len1) = 3; row1 hits B row1 = 1
+        assert count_intermediate_products(a, b) == 4
+
+    def test_symbolic_matches_actual(self, rng):
+        a = random_csr(rng, 25, 25, 0.15)
+        assert symbolic_nnz(a, a) == spgemm_reference(a, a).nnz
+
+    def test_count_empty(self):
+        a = CSRMatrix.empty(3, 3)
+        assert count_intermediate_products(a, a) == 0
+
+
+class TestElementwise:
+    def test_add(self, rng):
+        a = random_csr(rng, 10, 12, 0.3)
+        b = random_csr(rng, 10, 12, 0.3)
+        np.testing.assert_allclose(
+            add(a, b, alpha=2.0, beta=-1.0).to_dense(),
+            2.0 * a.to_dense() - b.to_dense(),
+        )
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            add(random_csr(rng, 3, 3, 0.5), random_csr(rng, 3, 4, 0.5))
+
+    def test_scale(self, medium_matrix):
+        np.testing.assert_allclose(
+            scale(medium_matrix, 0.5).to_dense(), 0.5 * medium_matrix.to_dense()
+        )
+
+    def test_spmv(self, rng):
+        a = random_csr(rng, 14, 9, 0.4)
+        x = rng.random(9)
+        np.testing.assert_allclose(spmv(a, x), a.to_dense() @ x)
+
+    def test_spmv_length_mismatch(self, medium_matrix):
+        with pytest.raises(ValueError, match="length"):
+            spmv(medium_matrix, np.ones(medium_matrix.cols + 1))

@@ -1,0 +1,80 @@
+"""Tests for the element-wise / masked / diagonal operations."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix
+from repro.sparse import diagonal, hadamard, mask_by_pattern, validate_csr
+from tests.conftest import random_csr
+
+
+class TestHadamard:
+    def test_matches_dense(self, rng):
+        a = random_csr(rng, 20, 15, 0.3)
+        b = random_csr(rng, 20, 15, 0.3)
+        np.testing.assert_allclose(
+            hadamard(a, b).to_dense(), a.to_dense() * b.to_dense()
+        )
+
+    def test_canonical_output(self, rng):
+        a = random_csr(rng, 25, 25, 0.2)
+        b = random_csr(rng, 25, 25, 0.2)
+        validate_csr(hadamard(a, b))
+
+    def test_disjoint_patterns_empty(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        b = CSRMatrix.from_dense(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        assert hadamard(a, b).nnz == 0
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            hadamard(random_csr(rng, 3, 3, 0.5), random_csr(rng, 3, 4, 0.5))
+
+    def test_self_hadamard_squares(self, rng):
+        a = random_csr(rng, 10, 10, 0.4)
+        np.testing.assert_allclose(
+            hadamard(a, a).to_dense(), a.to_dense() ** 2
+        )
+
+
+class TestMask:
+    def test_keeps_only_masked_positions(self, rng):
+        a = random_csr(rng, 15, 15, 0.4)
+        mask = random_csr(rng, 15, 15, 0.3)
+        out = mask_by_pattern(a, mask)
+        dense = a.to_dense() * (mask.to_dense() != 0)
+        np.testing.assert_allclose(out.to_dense(), dense)
+        validate_csr(out)
+
+    def test_full_mask_is_identity(self, rng):
+        a = random_csr(rng, 8, 8, 0.5)
+        assert mask_by_pattern(a, a).exactly_equal(a)
+
+
+class TestDiagonal:
+    def test_square(self):
+        d = np.array([[1.0, 2.0], [0.0, 3.0]])
+        np.testing.assert_array_equal(
+            diagonal(CSRMatrix.from_dense(d)), [1.0, 3.0]
+        )
+
+    def test_rectangular(self, rng):
+        a = random_csr(rng, 6, 10, 0.5)
+        np.testing.assert_allclose(
+            diagonal(a), np.diag(a.to_dense())[:6]
+        )
+
+    def test_empty_diagonal(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(
+            diagonal(CSRMatrix.from_dense(d)), [0.0, 0.0]
+        )
+
+    def test_trace_counts_closed_walks(self, rng):
+        from repro.sparse import spgemm_reference
+
+        a = random_csr(rng, 12, 12, 0.3)
+        a2 = spgemm_reference(a, a)
+        np.testing.assert_allclose(
+            diagonal(a2).sum(), np.trace(a.to_dense() @ a.to_dense())
+        )

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on the core data structures and
+invariants of the pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AcSpgemmOptions, CSRMatrix, ac_spgemm, spgemm_reference, transpose
+from repro.baselines import accumulate_products, expand_products
+from repro.core import LocalWorkDistribution, compact_sorted
+from repro.core.compaction import sequential_compaction_scan
+from repro.gpu import BlockContext, CostMeter, SMALL_DEVICE, TITAN_XP
+from repro.gpu.radix import radix_sort_permutation
+from repro.sparse import COOMatrix, validate_csr
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24, max_nnz=80):
+    rows = draw(st.integers(1, max_dim))
+    cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    r = draw(
+        st.lists(st.integers(0, rows - 1), min_size=nnz, max_size=nnz)
+    )
+    c = draw(
+        st.lists(st.integers(0, cols - 1), min_size=nnz, max_size=nnz)
+    )
+    v = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(
+        rows=rows,
+        cols=cols,
+        row_idx=np.asarray(r, dtype=np.int64),
+        col_idx=np.asarray(c, dtype=np.int64),
+        values=np.asarray(v, dtype=np.float64),
+    )
+
+
+class TestSparseProperties:
+    @SETTINGS
+    @given(coo_matrices())
+    def test_coo_to_csr_is_canonical(self, coo):
+        validate_csr(coo.to_csr())
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_coo_to_csr_preserves_sums(self, coo):
+        csr = coo.to_csr()
+        dense = np.zeros(coo.shape)
+        np.add.at(dense, (coo.row_idx, coo.col_idx), coo.values)
+        np.testing.assert_allclose(csr.to_dense(), dense, atol=1e-9)
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_transpose_involution(self, coo):
+        m = coo.to_csr()
+        assert transpose(transpose(m)).exactly_equal(m)
+
+    @SETTINGS
+    @given(coo_matrices(max_dim=16, max_nnz=50))
+    def test_spgemm_reference_matches_dense(self, coo):
+        a = coo.to_csr()
+        c = spgemm_reference(a, transpose(a))
+        np.testing.assert_allclose(
+            c.to_dense(), a.to_dense() @ a.to_dense().T, atol=1e-8
+        )
+
+
+class TestRadixProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, (1 << 20) - 1), min_size=0, max_size=200),
+        st.integers(1, 20),
+    )
+    def test_radix_equals_stable_argsort(self, keys, bits):
+        keys = np.asarray(keys, dtype=np.uint64)
+        meter = CostMeter(config=TITAN_XP)
+        perm = radix_sort_permutation(meter, keys, 20)
+        np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=100))
+    def test_radix_partial_bits_group_low_bits(self, keys):
+        keys = np.asarray(keys, dtype=np.uint64)
+        meter = CostMeter(config=TITAN_XP)
+        perm = radix_sort_permutation(meter, keys, 4)
+        low = (keys[perm] & np.uint64(0xF)).astype(np.int64)
+        assert (np.diff(low) >= 0).all()
+
+
+class TestCompactionProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),
+                st.integers(0, 31),
+                st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_vectorised_matches_sequential(self, triples):
+        col_bits = 5
+        rows = np.asarray([t[0] for t in triples], dtype=np.uint64)
+        cols = np.asarray([t[1] for t in triples], dtype=np.uint64)
+        vals = np.asarray([t[2] for t in triples])
+        keys = (rows << np.uint64(col_bits)) | cols
+        order = np.argsort(keys, kind="stable")
+        keys, vals = keys[order], vals[order]
+        meter = CostMeter(config=TITAN_XP)
+        comp = compact_sorted(meter, keys, vals, col_bits)
+
+        def same_row(a, b):
+            return (a >> col_bits) == (b >> col_bits)
+
+        seq = sequential_compaction_scan(keys, vals, same_row)
+        ends = [
+            i
+            for i in range(len(keys))
+            if i == len(keys) - 1 or keys[i] != keys[i + 1]
+        ]
+        np.testing.assert_array_equal(comp.keys, keys[ends])
+        np.testing.assert_allclose(
+            comp.values, [seq[i].value for i in ends], rtol=1e-9, atol=1e-12
+        )
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=100),
+    )
+    def test_compaction_conserves_sum(self, keys):
+        keys = np.sort(np.asarray(keys, dtype=np.uint64))
+        vals = np.ones(keys.shape[0])
+        meter = CostMeter(config=TITAN_XP)
+        comp = compact_sorted(meter, keys, vals, 7)
+        assert comp.values.sum() == pytest.approx(keys.shape[0])
+        assert comp.keys.shape[0] == np.unique(keys).shape[0]
+
+
+class TestWorkDistributionProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 12), min_size=1, max_size=16),
+        st.lists(st.integers(1, 30), min_size=1, max_size=8),
+    )
+    def test_consumption_is_exact_partition(self, elements, consumes):
+        """Any sequence of receive_work calls consumes every (entry,
+        offset) product exactly once, in prefix order."""
+        ctx = BlockContext(config=SMALL_DEVICE, block_id=0)
+        wd = LocalWorkDistribution(ctx, len(elements))
+        wd.place_work_with_origin(np.asarray(elements, dtype=np.int64))
+        seen = []
+        for c in consumes:
+            a_res, b_res, taken = wd.receive_work(c)
+            seen.extend(zip(a_res.tolist(), b_res.tolist()))
+        a_res, b_res, _ = wd.receive_work(10**6)
+        seen.extend(zip(a_res.tolist(), b_res.tolist()))
+        expected = [
+            (e, off) for e, n in enumerate(elements) for off in range(n)
+        ]
+        assert sorted(seen) == sorted(expected)
+        assert wd.size() == 0
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=12),
+        st.integers(0, 60),
+    )
+    def test_restart_equivalence(self, elements, consumed):
+        """restart_from(k) is equivalent to having consumed k already."""
+        total = sum(elements)
+        consumed = min(consumed, total)
+        ctx1 = BlockContext(config=SMALL_DEVICE, block_id=0)
+        wd1 = LocalWorkDistribution(ctx1, len(elements))
+        wd1.place_work_with_origin(np.asarray(elements, dtype=np.int64))
+        wd1.receive_work(consumed)
+        rest1 = wd1.receive_work(10**6)
+
+        ctx2 = BlockContext(config=SMALL_DEVICE, block_id=0)
+        wd2 = LocalWorkDistribution(ctx2, len(elements))
+        wd2.place_work_with_origin(np.asarray(elements, dtype=np.int64))
+        wd2.restart_from(consumed)
+        rest2 = wd2.receive_work(10**6)
+        np.testing.assert_array_equal(rest1[0], rest2[0])
+        np.testing.assert_array_equal(rest1[1], rest2[1])
+
+
+class TestPipelineProperties:
+    @SETTINGS
+    @given(coo_matrices(max_dim=20, max_nnz=60))
+    def test_ac_spgemm_matches_reference(self, coo):
+        a = coo.to_csr()
+        b = transpose(a)
+        opts = AcSpgemmOptions(
+            device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 18
+        )
+        res = ac_spgemm(a, b, opts)
+        ref = spgemm_reference(a, b)
+        assert res.matrix.allclose(ref, rtol=1e-9, atol=1e-12)
+        validate_csr(res.matrix)
+
+    @SETTINGS
+    @given(coo_matrices(max_dim=20, max_nnz=60), st.integers(0, 3))
+    def test_accumulate_products_structure_independent_of_order(
+        self, coo, seed
+    ):
+        a = coo.to_csr()
+        b = transpose(a)
+        rows, cols, vals = expand_products(a, b, np.dtype(np.float64))
+        c1 = accumulate_products(rows, cols, vals, a.rows, a.rows)
+        c2 = accumulate_products(
+            rows, cols, vals, a.rows, a.rows, shuffle_seed=seed
+        )
+        np.testing.assert_array_equal(c1.row_ptr, c2.row_ptr)
+        np.testing.assert_array_equal(c1.col_idx, c2.col_idx)
+        np.testing.assert_allclose(c1.values, c2.values, rtol=1e-9, atol=1e-12)

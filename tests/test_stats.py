@@ -1,0 +1,59 @@
+"""Unit tests for matrix/product statistics."""
+
+import numpy as np
+
+from repro import CSRMatrix, matrix_stats, squared_operands
+from repro.sparse import (
+    HIGHLY_SPARSE_SPLIT,
+    is_highly_sparse,
+    product_stats,
+    spgemm_reference,
+    transpose,
+)
+from tests.conftest import random_csr
+
+
+def test_matrix_stats_fields(rng):
+    m = random_csr(rng, 50, 40, 0.1)
+    st = matrix_stats(m)
+    assert st.rows == 50 and st.cols == 40
+    assert st.nnz == m.nnz
+    assert st.min_row_length <= st.mean_row_length <= st.max_row_length
+    assert abs(st.mean_row_length - m.nnz / 50) < 1e-12
+
+
+def test_highly_sparse_split():
+    sparse = CSRMatrix.identity(100)
+    assert is_highly_sparse(sparse)
+    dense = CSRMatrix.from_dense(np.ones((50, 50)))
+    assert not is_highly_sparse(dense)
+    assert HIGHLY_SPARSE_SPLIT == 42.0
+
+
+def test_squared_operands_square(rng):
+    m = random_csr(rng, 20, 20, 0.2)
+    a, b = squared_operands(m)
+    assert a is m and b is m
+
+
+def test_squared_operands_nonsquare(rng):
+    m = random_csr(rng, 10, 25, 0.2)
+    a, b = squared_operands(m)
+    assert a is m
+    assert b.exactly_equal(transpose(m))
+
+
+def test_product_stats(rng):
+    m = random_csr(rng, 30, 30, 0.15)
+    c = spgemm_reference(m, m)
+    ps = product_stats(m, m, c)
+    assert ps.temp_products > 0
+    assert ps.flops == 2 * ps.temp_products
+    assert ps.compaction_factor >= 1.0
+    assert ps.c.nnz == c.nnz
+
+
+def test_product_stats_empty():
+    e = CSRMatrix.empty(4, 4)
+    ps = product_stats(e, e, spgemm_reference(e, e))
+    assert ps.temp_products == 0 and ps.compaction_factor == 0.0

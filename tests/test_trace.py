@@ -1,0 +1,98 @@
+"""Tests for the execution tracer (the artifact's Debug mode)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, ac_spgemm
+from repro.bench import TraceRecorder
+from repro.gpu import SMALL_DEVICE
+from repro.gpu.scheduler import schedule_blocks
+from repro.matrices import random_uniform
+from tests.conftest import random_csr
+
+
+class TestRecorder:
+    def test_clock_advances(self):
+        t = TraceRecorder()
+        t.record_kernel("ESC", schedule_blocks([10.0, 20.0], 2), [10.0, 20.0])
+        t.record_span("CC", 5.0)
+        assert t.total_cycles() == 25.0
+        assert len(t.kernels) == 2
+        assert t.kernels[1].start_cycle == 20.0
+
+    def test_block_statistics(self):
+        t = TraceRecorder()
+        t.record_kernel("ESC", schedule_blocks([1.0, 3.0, 2.0], 2), [1.0, 3.0, 2.0])
+        k = t.kernels[0]
+        assert (k.min_block_cycles, k.max_block_cycles) == (1.0, 3.0)
+        assert k.mean_block_cycles == pytest.approx(2.0)
+
+    def test_stage_totals(self):
+        t = TraceRecorder()
+        t.record_span("GLB", 5.0)
+        t.record_span("ESC", 7.0)
+        t.record_span("ESC", 3.0)
+        assert t.stage_totals() == {"GLB": 5.0, "ESC": 10.0}
+
+    def test_points(self):
+        t = TraceRecorder()
+        t.record_span("ESC", 4.0)
+        t.record_point("restart", detail="grown")
+        assert t.points[0].cycle == 4.0
+
+    def test_summary_mentions_everything(self):
+        t = TraceRecorder()
+        t.record_span("GLB", 100.0)
+        t.record_point("restart")
+        s = t.summary()
+        assert "GLB" in s and "restart" in s
+
+
+class TestChromeExport:
+    def test_valid_json_with_events(self, tmp_path):
+        t = TraceRecorder()
+        t.record_kernel("ESC", schedule_blocks([10.0], 2), [10.0])
+        t.record_point("restart")
+        p = t.to_chrome_trace(tmp_path / "trace.json")
+        data = json.loads(p.read_text())
+        names = [e["name"] for e in data["traceEvents"]]
+        assert "ESC#0" in names and "restart" in names
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert complete and all("dur" in e for e in complete)
+
+
+class TestPipelineIntegration:
+    def test_trace_attached_and_consistent(self, rng):
+        a = random_csr(rng, 60, 60, 0.1)
+        opts = AcSpgemmOptions(
+            device=SMALL_DEVICE,
+            chunk_pool_lower_bound_bytes=1 << 20,
+            collect_trace=True,
+        )
+        res = ac_spgemm(a, a, opts)
+        assert res.trace is not None
+        assert res.trace.total_cycles() == pytest.approx(res.total_cycles)
+        # per-stage totals match the result's stage accounting
+        totals = res.trace.stage_totals()
+        for stage, cycles in res.stage_cycles.items():
+            assert totals.get(stage, 0.0) == pytest.approx(cycles), stage
+
+    def test_trace_off_by_default(self, rng):
+        a = random_csr(rng, 30, 30, 0.1)
+        res = ac_spgemm(
+            a, a, AcSpgemmOptions(device=SMALL_DEVICE,
+                                  chunk_pool_lower_bound_bytes=1 << 20)
+        )
+        assert res.trace is None
+
+    def test_restart_events_recorded(self):
+        a = random_uniform(300, 300, 6, seed=1)
+        opts = AcSpgemmOptions(
+            chunk_pool_bytes=20000, pool_growth_factor=2.0, collect_trace=True
+        )
+        res = ac_spgemm(a, a, opts)
+        assert res.restarts > 0
+        restart_points = [p for p in res.trace.points if p.label == "restart"]
+        assert len(restart_points) == res.restarts

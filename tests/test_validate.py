@@ -1,0 +1,71 @@
+"""Unit tests for CSR validation."""
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix
+from repro.sparse import CSRValidationError, is_canonical, validate_csr
+
+
+def make_raw(row_ptr, col_idx, values, rows=2, cols=4):
+    m = CSRMatrix.empty(rows, cols)
+    m.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    m.col_idx = np.asarray(col_idx, dtype=np.int64)
+    m.values = np.asarray(values, dtype=np.float64)
+    return m
+
+
+def test_valid_matrix_passes(medium_matrix):
+    validate_csr(medium_matrix)
+    assert is_canonical(medium_matrix)
+
+
+def test_unsorted_row_fails():
+    m = make_raw([0, 2, 2], [3, 1], [1.0, 2.0])
+    with pytest.raises(CSRValidationError, match="ascending"):
+        validate_csr(m)
+    assert not is_canonical(m)
+
+
+def test_duplicate_column_fails():
+    m = make_raw([0, 2, 2], [1, 1], [1.0, 2.0])
+    with pytest.raises(CSRValidationError, match="ascending"):
+        validate_csr(m)
+
+
+def test_duplicate_allowed_when_not_unique():
+    m = make_raw([0, 2, 2], [1, 1], [1.0, 2.0])
+    validate_csr(m, require_unique=False)
+
+
+def test_decreasing_row_ptr_fails():
+    m = make_raw([0, 2, 1], [0, 1, 2], [1.0, 2.0, 3.0])
+    m.col_idx = np.array([0, 1, 2])
+    m.values = np.array([1.0, 2.0, 3.0])
+    m.row_ptr = np.array([0, 2, 1])
+    with pytest.raises(
+        CSRValidationError, match="decreases|does not equal nnz"
+    ):
+        validate_csr(m)
+
+
+def test_column_out_of_range_fails():
+    m = make_raw([0, 1, 1], [9], [1.0])
+    with pytest.raises(CSRValidationError, match="out of range"):
+        validate_csr(m)
+
+
+def test_nan_detected_when_requested():
+    m = make_raw([0, 1, 1], [1], [np.nan])
+    validate_csr(m)  # default: finiteness not checked
+    with pytest.raises(CSRValidationError, match="non-finite"):
+        validate_csr(m, require_finite=True)
+
+
+def test_trailing_empty_rows_ok():
+    m = make_raw([0, 2, 2], [0, 1], [1.0, 2.0])
+    validate_csr(m)
+
+
+def test_all_empty_rows_ok():
+    validate_csr(CSRMatrix.empty(5, 5))

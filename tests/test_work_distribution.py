@@ -1,0 +1,147 @@
+"""Unit tests for the local work distribution (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LocalWorkDistribution
+from repro.gpu import BlockContext, SMALL_DEVICE, TITAN_XP
+
+
+def make_wd(elements, device=TITAN_XP):
+    ctx = BlockContext(config=device, block_id=0)
+    wd = LocalWorkDistribution(ctx, len(elements))
+    wd.place_work_with_origin(np.asarray(elements, dtype=np.int64))
+    return wd
+
+
+class TestPlaceAndSize:
+    def test_size_is_total(self):
+        wd = make_wd([3, 0, 5, 2])
+        assert wd.size() == 10
+
+    def test_empty_entries(self):
+        wd = make_wd([])
+        assert wd.size() == 0
+        a, b, taken = wd.receive_work(8)
+        assert taken == 0
+
+    def test_rejects_negative_counts(self):
+        ctx = BlockContext(config=TITAN_XP, block_id=0)
+        wd = LocalWorkDistribution(ctx, 2)
+        with pytest.raises(ValueError):
+            wd.place_work(np.array([1, -1]))
+
+    def test_rejects_wrong_length(self):
+        ctx = BlockContext(config=TITAN_XP, block_id=0)
+        wd = LocalWorkDistribution(ctx, 2)
+        with pytest.raises(ValueError):
+            wd.place_work(np.array([1, 2, 3]))
+
+
+class TestReceiveWork:
+    def test_full_drain_covers_all_products(self):
+        elements = [3, 0, 5, 2]
+        wd = make_wd(elements)
+        a_res, b_res, taken = wd.receive_work(10)
+        assert taken == 10
+        # every (entry, offset) pair appears exactly once
+        pairs = sorted(zip(a_res.tolist(), b_res.tolist()))
+        expected = sorted(
+            (e, off) for e, n in enumerate(elements) for off in range(n)
+        )
+        assert pairs == expected
+        assert wd.size() == 0
+
+    def test_countdown_takes_row_tail_first(self):
+        """§3.2.2: a split row is consumed from the END, so the next
+        iteration acts like the row is shorter."""
+        wd = make_wd([5])
+        _, b_res, taken = wd.receive_work(2)
+        assert taken == 2
+        # first batch gets offsets 4, 3 (the tail)
+        np.testing.assert_array_equal(b_res, [4, 3])
+        _, b_res2, _ = wd.receive_work(3)
+        np.testing.assert_array_equal(b_res2, [2, 1, 0])
+
+    def test_entry_assignment(self):
+        wd = make_wd([2, 3])
+        a_res, b_res, _ = wd.receive_work(5)
+        np.testing.assert_array_equal(a_res, [0, 0, 1, 1, 1])
+
+    def test_partial_consumption_reduces_state(self):
+        wd = make_wd([4, 4])
+        wd.receive_work(3)
+        assert wd.size() == 5
+        a_res, _, taken = wd.receive_work(100)
+        assert taken == 5
+        # entry 0 has 1 product left, entry 1 all 4
+        np.testing.assert_array_equal(a_res, [0, 1, 1, 1, 1])
+
+    def test_consume_zero(self):
+        wd = make_wd([3])
+        _, _, taken = wd.receive_work(0)
+        assert taken == 0
+        assert wd.size() == 3
+
+    def test_negative_consume_rejected(self):
+        wd = make_wd([3])
+        with pytest.raises(ValueError):
+            wd.receive_work(-1)
+
+    def test_consumed_total_tracks(self):
+        wd = make_wd([4, 4])
+        wd.receive_work(3)
+        wd.receive_work(2)
+        assert wd.consumed_total == 5
+
+
+class TestRestart:
+    def test_restart_resumes_exactly(self):
+        """A restarted distribution delivers the same remaining products
+        as an uninterrupted one (the §3.2.2 restart contract)."""
+        elements = [3, 1, 0, 6, 2]
+        wd1 = make_wd(elements)
+        wd1.receive_work(5)
+        rest1 = list(zip(*wd1.receive_work(100)[:2]))
+
+        wd2 = make_wd(elements)
+        wd2.restart_from(5)
+        rest2 = list(zip(*wd2.receive_work(100)[:2]))
+        assert [(int(a), int(b)) for a, b in rest1] == [
+            (int(a), int(b)) for a, b in rest2
+        ]
+
+    def test_restart_bounds_checked(self):
+        wd = make_wd([2, 2])
+        with pytest.raises(ValueError):
+            wd.restart_from(5)
+
+    def test_committed_before_entry(self):
+        # entries contribute 3, 4, 2 products; consume 5 (3 + 2 of entry 1)
+        wd = make_wd([3, 4, 2])
+        wd.receive_work(5)
+        assert wd.committed_before_entry(0) == 0
+        assert wd.committed_before_entry(1) == 3
+        # entry 2 not reached: committed before it == everything consumed
+        assert wd.committed_before_entry(2) == 5
+
+    def test_committed_out_of_range(self):
+        wd = make_wd([1])
+        with pytest.raises(IndexError):
+            wd.committed_before_entry(5)
+
+
+class TestScratchpadUse:
+    def test_wdstate_allocated_and_released(self):
+        ctx = BlockContext(config=SMALL_DEVICE, block_id=0)
+        wd = LocalWorkDistribution(ctx, 10)
+        assert "WDState" in ctx.scratchpad.allocations
+        wd.release()
+        assert "WDState" not in ctx.scratchpad.allocations
+
+    def test_charges_cost(self):
+        ctx = BlockContext(config=TITAN_XP, block_id=0)
+        wd = LocalWorkDistribution(ctx, 8)
+        wd.place_work_with_origin(np.full(8, 4))
+        wd.receive_work(16)
+        assert ctx.meter.cycles > 0
