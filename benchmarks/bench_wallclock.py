@@ -1,0 +1,65 @@
+"""Host wall-clock comparison of the execution engines.
+
+Runs ``reference``, ``batched`` and ``parallel`` on a cross-section of
+the suite, verifies that every engine produces bit-identical results and
+identical simulated statistics, and reports the host-side speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out BENCH_pr1.json]
+
+Unlike the figure benches this is a plain script (no pytest-benchmark):
+the quantity of interest is host seconds, measured directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.wallclock import run_wallclock, write_payload  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small matrices, single repeat (CI)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_pr1.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per engine (best-of); default 3, 1 for smoke",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_wallclock(smoke=args.smoke, repeats=args.repeats)
+    path = write_payload(payload, args.out)
+
+    print(f"engine wall-clock bench ({payload['mode']}):")
+    for row in payload["cases"]:
+        ref = row["seconds"]["reference"]
+        line = f"  {row['case']:24s} ref {ref * 1e3:8.1f} ms"
+        for eng, s in row["seconds"].items():
+            if eng == "reference":
+                continue
+            mark = "" if row["identical"][eng] else "  MISMATCH!"
+            line += f" | {eng} {s * 1e3:8.1f} ms ({row['speedup'][eng]:.2f}x){mark}"
+        print(line)
+    for eng, g in payload["geomean_speedup"].items():
+        print(f"geomean speedup {eng}: {g:.2f}x")
+    print(f"wrote {path}")
+
+    if not payload["all_identical"]:
+        print("ERROR: engines disagree with the reference", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

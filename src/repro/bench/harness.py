@@ -26,7 +26,7 @@ from ..sparse.stats import matrix_stats, squared_operands
 __all__ = ["MatrixCase", "RunRecord", "ResultCache", "run_case", "default_cache"]
 
 #: bump when generators / cost model change incompatibly
-CACHE_VERSION = 7
+CACHE_VERSION = 8
 
 
 @dataclass
@@ -150,9 +150,19 @@ class ResultCache:
                 self._data = {}
 
     @staticmethod
-    def key(matrix: str, algorithm: str, dtype: str) -> str:
-        """Cache key of one sweep cell."""
-        return f"{matrix}|{algorithm}|{dtype}"
+    def key(matrix: str, algorithm: str, dtype: str, options=None) -> str:
+        """Cache key of one sweep cell.
+
+        Non-default pipeline options key their cells separately: the
+        engine name (human-readable) plus a fingerprint of every option
+        field, so tweaked runs can never collide with default ones.
+        """
+        if options is None:
+            return f"{matrix}|{algorithm}|{dtype}"
+        return (
+            f"{matrix}|{algorithm}|{dtype}"
+            f"|{options.engine}|{options.cache_fingerprint()}"
+        )
 
     def get_or_run(
         self,
@@ -161,12 +171,28 @@ class ResultCache:
         dtype=np.float64,
         *,
         verify: bool = True,
+        options=None,
     ) -> RunRecord:
-        """Return the memoised record, executing the cell on a miss."""
-        k = self.key(case.name, algorithm, np.dtype(dtype).name)
+        """Return the memoised record, executing the cell on a miss.
+
+        ``options`` (an :class:`~repro.core.options.AcSpgemmOptions`)
+        customises the AC-SpGEMM pipeline for this cell; it becomes part
+        of the cache key.
+        """
+        k = self.key(case.name, algorithm, np.dtype(dtype).name, options)
         if k in self._data:
             return RunRecord.from_json(self._data[k])
-        rec = run_case(case, algorithm, dtype, verify=verify)
+        alg: str | SpGEMMAlgorithm = algorithm
+        if options is not None:
+            from ..baselines.acspgemm_adapter import AcSpgemm
+
+            base = make_algorithm(algorithm)
+            if not isinstance(base, AcSpgemm):
+                raise ValueError(
+                    f"options only apply to ac-spgemm, not {algorithm!r}"
+                )
+            alg = AcSpgemm(device=base.device, costs=base.costs, options=options)
+        rec = run_case(case, alg, dtype, verify=verify)
         self._data[k] = rec.to_json()
         return rec
 

@@ -1,0 +1,210 @@
+"""Host wall-clock benchmark of the execution engines.
+
+Unlike every other bench in this repo — which reports *simulated* device
+time — this one measures how long the **host** takes to run the
+simulator, comparing the execution engines (see :mod:`repro.engine`).
+Correctness is checked in the same pass: every engine must produce
+bit-identical values and identical simulated statistics, otherwise the
+speedup would be meaningless.
+
+The JSON payload (``BENCH_pr1.json``) records, per case, the seconds per
+engine, the speedup over the reference engine and the equivalence
+verdict, plus the geometric-mean speedups across cases.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.acspgemm import ac_spgemm
+from ..core.options import AcSpgemmOptions
+from ..matrices.generators import (
+    banded,
+    long_row_matrix,
+    power_law,
+    random_uniform,
+)
+from ..sparse.stats import squared_operands
+
+__all__ = ["WallclockCase", "wallclock_cases", "run_wallclock"]
+
+DEFAULT_ENGINES = ("reference", "batched", "parallel")
+
+
+def tune_allocator() -> bool:
+    """Stop glibc from bouncing large buffers between heap and OS.
+
+    The batched engine allocates multi-MB arrays every round; with the
+    default ``M_MMAP_THRESHOLD``/``M_TRIM_THRESHOLD`` glibc hands each
+    one back to the kernel on free, so every round re-faults its pages
+    — on this class of host that triples the cost of a fresh-array
+    binary op.  Raising both thresholds keeps the pages resident.  A
+    no-op (returns False) off glibc.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        m_mmap_threshold, m_trim_threshold = -3, -1
+        ok = libc.mallopt(m_mmap_threshold, 1 << 30)
+        ok &= libc.mallopt(m_trim_threshold, 1 << 30)
+        return bool(ok)
+    except Exception:  # noqa: BLE001 - musl/macOS/windows: keep defaults
+        return False
+
+
+@dataclass
+class WallclockCase:
+    """One matrix (squared) to time the engines on."""
+
+    name: str
+    a: object
+    b: object
+    dtype: str = "float64"
+
+
+def _case(name: str, matrix, dtype: str = "float64") -> WallclockCase:
+    a, b = squared_operands(matrix)
+    return WallclockCase(name=name, a=a, b=b, dtype=dtype)
+
+
+def wallclock_cases(smoke: bool = False) -> list[WallclockCase]:
+    """The benchmark inputs: a cross-section of the suite families.
+
+    ``smoke`` shrinks the matrices for CI — the speedup claim is made on
+    the full set, the smoke set only proves the harness end to end.
+    """
+    if smoke:
+        return [
+            _case("uniform-800-avg10", random_uniform(800, 800, 10.0, seed=1)),
+            _case("banded-1200-bw8", banded(1200, 8, seed=2)),
+            _case(
+                "powerlaw-800", power_law(800, avg_row_len=8.0, seed=3),
+                dtype="float32",
+            ),
+        ]
+    return [
+        _case("uniform-3000-avg20", random_uniform(3000, 3000, 20.0, seed=1)),
+        _case("uniform-2000-avg40", random_uniform(2000, 2000, 40.0, seed=2)),
+        _case("banded-6000-bw16", banded(6000, 16, seed=3)),
+        _case("powerlaw-2500", power_law(2500, avg_row_len=12.0, seed=4)),
+        _case(
+            "longrow-3000",
+            long_row_matrix(3000, 4.0, n_long_rows=4, long_row_len=2000, seed=5),
+        ),
+        _case(
+            "uniform-2000-avg25-f32",
+            random_uniform(2000, 2000, 25.0, seed=6),
+            dtype="float32",
+        ),
+    ]
+
+
+def _signature(result) -> dict:
+    """Everything that must be invariant across engines."""
+    return {
+        "row_ptr": result.matrix.row_ptr.tobytes(),
+        "col_idx": result.matrix.col_idx.tobytes(),
+        "values": result.matrix.values.tobytes(),
+        "stage_cycles": dict(result.stage_cycles),
+        "counters": result.counters,
+        "restarts": result.restarts,
+        "mp_load": result.multiprocessor_load,
+        "n_chunks": result.n_chunks,
+        "memory": result.memory,
+    }
+
+
+def _time_engines(
+    case: WallclockCase, engines: tuple[str, ...], repeats: int
+) -> tuple[dict[str, float], dict[str, dict]]:
+    """Best-of-``repeats`` seconds and result signature per engine.
+
+    Repeats are interleaved across engines (engine A, engine B, ...,
+    engine A, ...) so that slow phases of a shared host hit every
+    engine alike instead of biasing whichever ran during them.
+    """
+    opts = {
+        e: AcSpgemmOptions(value_dtype=np.dtype(case.dtype), engine=e)
+        for e in engines
+    }
+    best = {e: math.inf for e in engines}
+    sigs: dict[str, dict] = {}
+    for _ in range(repeats):
+        for engine in engines:
+            t0 = time.perf_counter()
+            result = ac_spgemm(case.a, case.b, opts[engine])
+            best[engine] = min(best[engine], time.perf_counter() - t0)
+            sigs[engine] = _signature(result)
+    return best, sigs
+
+
+def run_wallclock(
+    smoke: bool = False,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    repeats: int | None = None,
+) -> dict:
+    """Time every engine on every case and verify equivalence.
+
+    Returns the JSON-serialisable payload; ``geomean_speedup`` maps each
+    non-reference engine to its geometric-mean host speedup.
+    """
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    engines = tuple(dict.fromkeys(("reference",) + tuple(engines)))
+    tuned = tune_allocator()
+    cases = wallclock_cases(smoke)
+    rows = []
+    speedups: dict[str, list[float]] = {e: [] for e in engines if e != "reference"}
+    for case in cases:
+        best, sigs = _time_engines(case, engines, repeats)
+        ref_s, ref_sig = best["reference"], sigs["reference"]
+        row = {
+            "case": case.name,
+            "dtype": case.dtype,
+            "nnz_a": int(case.a.nnz),
+            "seconds": {"reference": ref_s},
+            "speedup": {},
+            "identical": {},
+        }
+        for engine in engines:
+            if engine == "reference":
+                continue
+            s, sig = best[engine], sigs[engine]
+            identical = all(ref_sig[k] == sig[k] for k in ref_sig)
+            row["seconds"][engine] = s
+            row["speedup"][engine] = ref_s / s if s else math.inf
+            row["identical"][engine] = identical
+            if identical:
+                speedups[engine].append(ref_s / s)
+        rows.append(row)
+
+    geomean = {
+        e: (math.exp(sum(math.log(x) for x in xs) / len(xs)) if xs else 0.0)
+        for e, xs in speedups.items()
+    }
+    return {
+        "bench": "engine-wallclock",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "allocator_tuned": tuned,
+        "engines": list(engines),
+        "cases": rows,
+        "all_identical": all(
+            ok for r in rows for ok in r["identical"].values()
+        ),
+        "geomean_speedup": geomean,
+    }
+
+
+def write_payload(payload: dict, out: str | Path) -> Path:
+    """Write the payload as JSON and return the path."""
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

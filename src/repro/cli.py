@@ -57,9 +57,9 @@ CSV_HEADERS = [
 ]
 
 
-def _run_one(name: str, matrix, *, dtype, verify: bool) -> dict:
+def _run_one(name: str, matrix, *, dtype, verify: bool, engine: str = "reference") -> dict:
     a, b = squared_operands(matrix)
-    opts = AcSpgemmOptions(value_dtype=dtype)
+    opts = AcSpgemmOptions(value_dtype=dtype, engine=engine)
     result = ac_spgemm(a, b, opts)
     temp = count_intermediate_products(a, b)
     verified = ""
@@ -98,7 +98,10 @@ def cmd_single(args) -> int:
     """Run AC-SpGEMM on one matrix file, optionally CPU-verified."""
     matrix = load_matrix(args.matrix)
     dtype = np.float32 if args.float else np.float64
-    row = _run_one(Path(args.matrix).stem, matrix, dtype=dtype, verify=args.verify)
+    row = _run_one(
+        Path(args.matrix).stem, matrix,
+        dtype=dtype, verify=args.verify, engine=args.engine,
+    )
     print(f"AC-SpGEMM on {args.matrix} "
           f"({'single' if args.float else 'double'} precision):")
     _print_row(row)
@@ -132,7 +135,8 @@ def cmd_runall(args) -> int:
         # (the artifact runs each test as a separate process for this)
         try:
             rows.append(
-                _run_one(f.stem, load_matrix(f), dtype=dtype, verify=args.verify)
+                _run_one(f.stem, load_matrix(f), dtype=dtype,
+                         verify=args.verify, engine=args.engine)
             )
             print(f"{f.stem}: {rows[-1]['gflops']} GFLOPS")
         except Exception as exc:  # noqa: BLE001 - isolation by design
@@ -148,7 +152,8 @@ def cmd_suite(args) -> int:
     dtype = np.float32 if args.float else np.float64
     rows = []
     for e in suite_entries()[: args.limit]:
-        rows.append(_run_one(e.name, e.build(), dtype=dtype, verify=args.verify))
+        rows.append(_run_one(e.name, e.build(), dtype=dtype,
+                             verify=args.verify, engine=args.engine))
         print(f"{e.name}: {rows[-1]['gflops']} GFLOPS")
     _write_rows(args.out, rows)
     return 0
@@ -184,6 +189,9 @@ def main(argv=None) -> int:
     p.add_argument("--verify", action="store_true",
                    help="confirm against the CPU reference (artifact A.6)")
     p.add_argument("--float", action="store_true", help="single precision")
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"),
+                   help="host execution engine (identical results/stats)")
     p.set_defaults(func=cmd_single)
 
     p = sub.add_parser("runall", help="run every matrix in a folder")
@@ -191,6 +199,8 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None, help="CSV output path")
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"))
     p.set_defaults(func=cmd_runall)
 
     p = sub.add_parser("suite", help="run the built-in synthetic suite")
@@ -198,6 +208,8 @@ def main(argv=None) -> int:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"))
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")

@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..gpu.block import BlockContext
+from ..engine import get_engine
+from ..engine.base import EngineContext
 from ..gpu.cost import CostMeter
 from ..gpu.counters import TrafficCounters
 from ..gpu.scheduler import KernelTiming, schedule_blocks
@@ -37,7 +38,7 @@ from .merge import MultiMergeBlock, assign_merges
 from .merge_path import PathMergeBlock
 from .merge_search import SearchMergeBlock
 from .options import AcSpgemmOptions, DEFAULT_OPTIONS
-from .output import build_row_pointer, copy_chunks
+from .output import build_row_pointer
 
 __all__ = ["MemoryReport", "AcSpgemmResult", "ac_spgemm"]
 
@@ -134,6 +135,7 @@ def ac_spgemm(
         validate_csr(b)
 
     cfg = opts.device
+    engine = get_engine(opts.engine)
     launch = opts.costs.kernel_launch_cycles
     stage_cycles = {k: 0.0 for k in STAGE_KEYS}
     counters = TrafficCounters()
@@ -163,6 +165,8 @@ def ac_spgemm(
     pool = ChunkPool(capacity_bytes=pool_bytes)
     tracker = RowChunkTracker(n_rows=a.rows)
 
+    ectx = EngineContext(a=a, b=b, glb=glb, options=opts, pool=pool, tracker=tracker)
+
     blocks = [
         EscBlock(block_id=i, a=a, b=b, glb=glb, options=opts)
         for i in range(glb.n_blocks)
@@ -170,13 +174,11 @@ def ac_spgemm(
     pending = list(blocks)
     restarts = 0
     while pending:
-        round_cycles: list[float] = []
+        outcomes = engine.esc_round(ectx, pending)
+        round_cycles = [o.cycles for o in outcomes]
         still_pending: list[EscBlock] = []
-        for blk in pending:
-            ctx = BlockContext(config=cfg, block_id=blk.block_id, constants=opts.costs)
-            outcome = blk.run(ctx, pool, tracker)
-            round_cycles.append(outcome.cycles)
-            counters.merge(ctx.meter.counters)
+        for blk, outcome in zip(pending, outcomes):
+            counters.merge(outcome.counters)
             if not outcome.done:
                 still_pending.append(blk)
         timing = schedule_blocks(round_cycles, cfg.num_sms, launch_overhead=launch)
@@ -224,21 +226,19 @@ def ac_spgemm(
         "search_merge_rows": len(assignment.search_rows),
     }
 
-    def run_merge_kernel(stage: str, workers, run_one) -> None:
+    def run_merge_kernel(stage: str, workers) -> None:
         """Launch a merge kernel with its own restart loop."""
         nonlocal restarts
         pending_workers = list(workers)
         if not pending_workers:
             return
         while pending_workers:
-            cycles: list[float] = []
+            outcomes = engine.merge_round(ectx, stage, pending_workers)
+            cycles = [o.cycles for o in outcomes]
             still = []
-            for idx, w in enumerate(pending_workers):
-                ctx = BlockContext(config=cfg, block_id=idx, constants=opts.costs)
-                done = run_one(w, ctx)
-                cycles.append(ctx.meter.cycles)
-                counters.merge(ctx.meter.counters)
-                if not done:
+            for w, outcome in zip(pending_workers, outcomes):
+                counters.merge(outcome.counters)
+                if not outcome.done:
                     still.append(w)
             timing = schedule_blocks(cycles, cfg.num_sms, launch_overhead=launch)
             stage_cycles[stage] += timing.makespan_cycles
@@ -262,41 +262,28 @@ def ac_spgemm(
                 counters.host_round_trips += 1
             pending_workers = still
 
-    def run_multi(block: MultiMergeBlock, ctx: BlockContext) -> bool:
-        from .chunks import PoolExhausted
-
-        try:
-            block.run(ctx, tracker, pool, b, opts)
-            return True
-        except PoolExhausted:
-            return False  # Multi Merge restart starts from scratch (§3.3)
-
     multi_blocks = [
         MultiMergeBlock(block_index=i, rows=g)
         for i, g in enumerate(assignment.multi_groups)
     ]
-    run_merge_kernel("MM", multi_blocks, run_multi)
+    run_merge_kernel("MM", multi_blocks)
 
     path_blocks = [
         PathMergeBlock(block_index=i, row=r)
         for i, r in enumerate(assignment.path_rows)
     ]
-    run_merge_kernel(
-        "PM", path_blocks, lambda w, ctx: w.run(ctx, tracker, pool, b, opts)
-    )
+    run_merge_kernel("PM", path_blocks)
 
     search_blocks = [
         SearchMergeBlock(block_index=i, row=r)
         for i, r in enumerate(assignment.search_rows)
     ]
-    run_merge_kernel(
-        "SM", search_blocks, lambda w, ctx: w.run(ctx, tracker, pool, b, opts)
-    )
+    run_merge_kernel("SM", search_blocks)
 
     # ---- stage 4: output matrix and chunk copy ---------------------------
     out_meter = CostMeter(config=cfg, constants=opts.costs)
     row_ptr = build_row_pointer(tracker, out_meter)
-    c, copy_cycles = copy_chunks(pool, tracker, row_ptr, b, opts, out_meter)
+    c, copy_cycles = engine.copy_output(ectx, row_ptr, out_meter)
     timing = schedule_blocks(copy_cycles, cfg.num_sms, launch_overhead=launch)
     stage_cycles["CC"] = (
         _device_wide_cycles(out_meter, cfg.num_sms) + timing.makespan_cycles

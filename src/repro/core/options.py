@@ -9,7 +9,7 @@ explicit switch here so the ablation benches can toggle it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dc_fields, replace
 
 import numpy as np
 
@@ -84,11 +84,23 @@ class AcSpgemmOptions:
     #: collect a per-kernel execution trace (the artifact's Debug mode);
     #: the trace is attached to the result as ``result.trace``
     collect_trace: bool = False
+    #: host execution engine for the block-level stages: ``"reference"``
+    #: steps one simulated block at a time, ``"batched"`` fuses all ready
+    #: blocks of a launch into flat numpy batches, ``"parallel"`` runs
+    #: blocks on a thread pool.  All three produce bit-identical results
+    #: and identical simulated cycles/counters; only host wall-clock
+    #: differs (see ``repro.engine``).
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
         if self.value_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError("value_dtype must be float32 or float64")
+        if self.engine not in ("reference", "batched", "parallel"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                "expected 'reference', 'batched' or 'parallel'"
+            )
         if self.multi_merge_max_chunks < 2:
             raise ValueError("multi_merge_max_chunks must be at least 2")
         if self.path_merge_max_chunks < self.multi_merge_max_chunks:
@@ -117,6 +129,21 @@ class AcSpgemmOptions:
     def with_(self, **kwargs) -> "AcSpgemmOptions":
         """Copy with replaced fields (ablation helper)."""
         return replace(self, **kwargs)
+
+    def cache_fingerprint(self) -> str:
+        """Stable short digest of every option that can affect a run.
+
+        Used by the bench result cache so runs with different options
+        (engine, ablation switches, device geometry, cost constants)
+        can never alias one cached cell.  Dataclass reprs are
+        deterministic, so the digest is stable across processes.
+        """
+        import hashlib
+
+        payload = "|".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in dc_fields(self)
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:12]
 
 
 DEFAULT_OPTIONS = AcSpgemmOptions()

@@ -1,0 +1,88 @@
+"""Pluggable host execution engines for the block-level stages.
+
+The simulator's observable outputs — the result matrix, per-stage cycle
+counts, traffic counters, restart counts, multiprocessor load and the
+Table 3 memory statistics — are fully determined by the pipeline's
+semantics, not by how the host happens to step the simulated blocks.
+That makes the *host execution strategy* pluggable:
+
+``reference``
+    The original path: every simulated thread block is stepped one at a
+    time in pure Python (:mod:`repro.engine.reference`).  Simple,
+    obviously correct, slow.
+``batched``
+    All ready blocks of a kernel launch are fused into flat numpy
+    batches (:mod:`repro.engine.batched`): expansion via one global
+    ``searchsorted``, the per-block stable LSD radix sorts replaced by a
+    single composite-key ``np.argsort(kind="stable")`` over
+    ``(block_id << key_bits) | key``, segment-boundary flags for
+    compaction and ``np.add.reduceat`` for accumulation.  Charges the
+    identical per-block :class:`~repro.gpu.cost.CostMeter` numbers.
+``parallel``
+    The unmodified per-block code on a thread pool
+    (:mod:`repro.engine.parallel`), with allocations recorded against
+    shadow objects and committed serially in block order so pool
+    exhaustion, chunk offsets and shared-row attribution stay
+    deterministic.
+
+Every engine produces bit-identical results and identical simulated
+statistics; they differ only in host wall-clock time (see
+``benchmarks/bench_wallclock.py``).
+"""
+
+from __future__ import annotations
+
+from .base import Engine, EngineContext, RoundOutcome
+
+__all__ = ["Engine", "EngineContext", "RoundOutcome", "ENGINES", "get_engine"]
+
+
+def get_engine(name: str) -> Engine:
+    """Instantiate the engine registered under ``name``."""
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return cls()
+
+
+def _registry() -> dict:
+    from .batched import BatchedEngine
+    from .parallel import ParallelEngine
+    from .reference import ReferenceEngine
+
+    return {
+        ReferenceEngine.name: ReferenceEngine,
+        BatchedEngine.name: BatchedEngine,
+        ParallelEngine.name: ParallelEngine,
+    }
+
+
+class _LazyRegistry(dict):
+    """Engine name -> class, resolved on first access (avoids importing
+    every engine implementation at package import time)."""
+
+    def _ensure(self) -> None:
+        if not super().__len__():
+            super().update(_registry())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key) -> bool:
+        self._ensure()
+        return super().__contains__(key)
+
+
+ENGINES: dict = _LazyRegistry()

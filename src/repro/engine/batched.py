@@ -1,0 +1,1075 @@
+"""Batched vectorized execution of the block-level stages.
+
+All ready blocks of one kernel launch are fused into flat numpy arrays
+and stepped in lockstep:
+
+* **Expansion** — the per-block work-distribution ``searchsorted`` over
+  the decremented count state is replaced by one global ``searchsorted``
+  over the concatenated *original* prefix sums offset per block (the two
+  are provably equivalent: consumption is a contiguous window of the
+  original product order).
+* **Sort** — the per-block stable LSD radix sorts become a few
+  composite-key ``np.argsort(kind="stable")`` calls over
+  ``(local_segment_id << key_bits) | key`` packed into 16 bits, where
+  numpy's stable sort is an O(n) radix sort.  Stability makes the
+  permutation within each segment identical to the per-block stable
+  sort, preserving the tie order that fixes floating-point accumulation.
+* **Compaction** — equal-key run boundaries from one neighbour compare
+  with forced segment breaks, then one ``np.add.reduceat``.  ``reduceat``
+  folds each run independently of surrounding data, so per-run sums are
+  bit-identical to the per-block path.
+
+Cost fidelity: every :class:`~repro.gpu.cost.CostMeter` charge of the
+reference per-block code is replayed per block from the batch's scalar
+per-segment sizes, and real per-block :class:`~repro.gpu.memory.Scratchpad`
+objects enforce the same on-chip layouts.  Pool allocations run through
+the optimistic record / serial replay machinery (:mod:`repro.engine.replay`)
+so restart behaviour, chunk offsets and shared-row attribution are
+exactly the reference's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.chunks import Chunk, RowChunkTracker
+from ..core.long_rows import long_row_mask
+from ..core.merge import gather_row_segments
+from ..gpu.cost import CostMeter
+from ..gpu.memory import Scratchpad
+from ..gpu.radix import bits_required, fast_stable_sort
+from ..sparse.csr import CSRMatrix
+from .base import EngineContext, RoundOutcome
+from .reference import ReferenceEngine
+from .replay import (
+    AllocationRecord,
+    OptimisticRun,
+    replay_and_commit,
+    snapshot_counters,
+)
+
+__all__ = ["BatchedEngine"]
+
+
+def _ragged_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + lengths[i])``."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    off = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=off[1:])
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(np.asarray(starts, dtype=np.int64) - off, lengths)
+    return out
+
+
+def _ragged_revrange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i] + lengths[i] - 1, starts[i] - 1, -1)``."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    off = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=off[1:])
+    out = np.repeat(
+        np.asarray(starts, dtype=np.int64) + lengths - 1 + off, lengths
+    )
+    out -= np.arange(total, dtype=np.int64)
+    return out
+
+
+def _segmented_sort(
+    keys: np.ndarray,
+    seg_sizes: np.ndarray,
+    seg_off: np.ndarray,
+    key_bits_list: list[int],
+) -> np.ndarray:
+    """Stable sort permutation of ``keys`` within each segment.
+
+    Segments are packed greedily into groups whose composite key
+    ``(local_segment_id << key_bits) | key`` fits 16 bits, because
+    numpy's stable argsort is an O(n) radix sort for 16-bit integers
+    (it falls back to O(n log n) timsort for wider types).  Oversized
+    single segments use 16-bit LSD passes instead.  Every path is a
+    stable per-segment sort, so the permutation equals running the
+    per-block stable sort on each segment independently.
+    """
+    nseg = len(key_bits_list)
+    perm = np.empty(keys.shape[0], dtype=np.int64)
+    seg_off_list = seg_off.tolist()
+    s = 0
+    while s < nseg:
+        kb = key_bits_list[s]
+        e = s + 1
+        while e < nseg:
+            nkb = key_bits_list[e] if key_bits_list[e] > kb else kb
+            if bits_required(e - s) + nkb > 16:
+                break
+            kb = nkb
+            e += 1
+        lo, hi = seg_off_list[s], seg_off_list[e]
+        if e - s > 1:
+            comp = keys[lo:hi].astype(np.uint16)
+            comp |= np.repeat(
+                ((np.arange(e - s, dtype=np.int64) << kb) & 0xFFFF).astype(
+                    np.uint16
+                ),
+                seg_sizes[s:e],
+            )
+            perm[lo:hi] = np.argsort(comp, kind="stable")
+            perm[lo:hi] += lo
+        elif kb <= 16:
+            perm[lo:hi] = np.argsort(
+                keys[lo:hi].astype(np.uint16, copy=False), kind="stable"
+            )
+            perm[lo:hi] += lo
+        else:
+            order = np.arange(hi - lo, dtype=np.int64)
+            cur = keys[lo:hi]
+            for shift in range(0, kb, 16):
+                digits = (
+                    (cur >> np.uint64(shift)) & np.uint64(0xFFFF)
+                ).astype(np.uint16)
+                if digits[0] == digits[-1] and (digits == digits[0]).all():
+                    continue  # pass is the identity
+                p = np.argsort(digits, kind="stable")
+                order = order[p]
+                cur = cur[p]
+            perm[lo:hi] = order
+            perm[lo:hi] += lo
+        s = e
+    return perm
+
+
+def _segmented_compact(
+    keys_s: np.ndarray,
+    vals_s: np.ndarray,
+    seg_off: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact equal-key runs per segment in one pass.
+
+    Returns ``(comp_keys, comp_vals, comp_counts)`` where ``comp_counts``
+    is the number of compacted entries per segment.  Runs never cross a
+    segment boundary (boundaries force a run end).
+    """
+    n = keys_s.shape[0]
+    ends = np.empty(n, dtype=bool)
+    ends[-1] = True
+    np.not_equal(keys_s[1:], keys_s[:-1], out=ends[:-1])
+    ends[seg_off[1:] - 1] = True
+    end_idx = np.nonzero(ends)[0]
+    # every run start is the previous run's end + 1
+    start_idx = np.empty_like(end_idx)
+    start_idx[0] = 0
+    np.add(end_idx[:-1], 1, out=start_idx[1:])
+    comp_vals = np.add.reduceat(vals_s, start_idx)
+    comp_keys = keys_s[end_idx]
+    # compacted entries per segment: run-ends inside each window
+    comp_counts = np.diff(np.searchsorted(end_idx, seg_off, side="left"))
+    assert int(comp_counts.sum()) == comp_keys.shape[0]
+    return comp_keys, comp_vals, comp_counts
+
+
+# ---------------------------------------------------------------------------
+# stage 2: lockstep batched AC-ESC
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _EscState:
+    """Per-block lockstep state of one batched ESC round."""
+
+    blk: object
+    meter: CostMeter
+    scratch: Scratchpad
+    n: int  # A-entries of the block
+    ent0: int  # offset of the block's entries in the round arrays
+    g0: int  # offset of the block's prefix segment in G
+    uoff: int  # offset of the block's row dictionary in the round arrays
+    base: int  # products of preceding blocks (G offset)
+    total: int  # total products of this block
+    c: int  # products consumed so far (== wd.consumed_total)
+    records: list = field(default_factory=list)
+    carried_rows: np.ndarray | None = None
+    carried_cols: np.ndarray | None = None
+    carried_vals: np.ndarray | None = None
+    taken: int = 0
+    exp_pos: int = 0  # cursor into the round's expansion arrays
+    new_lo: int = 0
+    new_hi: int = 0
+
+
+def _esc_on_success(blk, cycles: float) -> None:
+    blk.total_cycles += cycles
+
+
+def _esc_on_fail(blk, rec: AllocationRecord, cycles: float) -> None:
+    blk.committed = rec.restore["committed"]
+    blk.n_long_emitted = rec.restore["n_long_emitted"]
+    blk.chunk_seq = rec.chunk.order_key[1]
+    blk.done = False
+    blk.total_cycles += cycles
+
+
+def _esc_finish(st: _EscState) -> None:
+    """Block drained: same final state the reference run() sets."""
+    st.blk.committed = st.c
+    st.blk.done = True
+
+
+
+
+
+
+
+
+def _esc_optimistic_batch(
+    ectx: EngineContext, pending: list
+) -> list[OptimisticRun]:
+    opts = ectx.options
+    cfg = opts.device
+    a, b = ectx.a, ectx.b
+    glb = ectx.glb
+    dtype = opts.value_dtype
+    elem_bytes = opts.element_bytes
+    epb = cfg.elements_per_block
+    n_pending = len(pending)
+
+    # ---- fetch A across all pending blocks (§3.2.1) -------------------
+    npb = glb.nnz_per_block
+    los = np.fromiter(
+        (blk.block_id * npb for blk in pending), dtype=np.int64, count=n_pending
+    )
+    n_ent = np.minimum(a.nnz, los + npb) - los
+    ent_off = np.zeros(n_pending + 1, dtype=np.int64)
+    np.cumsum(n_ent, out=ent_off[1:])
+    total_ent = int(ent_off[-1])
+    idx = _ragged_arange(los, n_ent)
+    a_cols_cat = a.col_idx[idx]
+    a_rows_cat = glb.row_of_nnz[idx]
+    a_vals_cat = a.values[idx].astype(dtype, copy=False)
+
+    # local row dictionary per block, via boundary flags on the (sorted)
+    # per-block row-id runs: equals np.unique(..., return_inverse=True)
+    flag = np.empty(total_ent, dtype=bool)
+    flag[0] = True
+    np.not_equal(a_rows_cat[1:], a_rows_cat[:-1], out=flag[1:])
+    flag[ent_off[:-1]] = True
+    csum = np.cumsum(flag)
+    local_row_cat = csum - np.repeat(csum[ent_off[:-1]], n_ent)
+    uniq_pos = np.nonzero(flag)[0]
+    uniq_rows_cat = a_rows_cat[uniq_pos]
+    n_uniq = local_row_cat[ent_off[1:] - 1] + 1
+    uniq_off = np.zeros(n_pending + 1, dtype=np.int64)
+    np.cumsum(n_uniq, out=uniq_off[1:])
+    fe_local_cat = uniq_pos - np.repeat(ent_off[:-1], n_uniq)
+
+    # referenced B row lengths and the per-block product prefix sums
+    b_start_cat = b.row_ptr[a_cols_cat]
+    b_len_cat = b.row_ptr[a_cols_cat + 1] - b_start_cat
+    counts_cat = b_len_cat.copy()
+    long_mask_cat = None
+    if opts.enable_long_row_handling:
+        long_mask_cat = long_row_mask(b_len_cat, opts)
+        counts_cat[long_mask_cat] = 0
+
+    # G: concatenated per-block prefix sums, offset so they are globally
+    # nondecreasing — one searchsorted then serves every block at once
+    cs = np.cumsum(counts_cat)
+    g_off = ent_off[:-1] + np.arange(n_pending, dtype=np.int64)
+    G = np.empty(total_ent + n_pending, dtype=np.int64)
+    pos_mask = np.ones(total_ent + n_pending, dtype=bool)
+    pos_mask[g_off] = False
+    G[pos_mask] = cs
+    base = np.empty(n_pending, dtype=np.int64)
+    base[0] = 0
+    base[1:] = cs[ent_off[1:-1] - 1]
+    G[g_off] = base
+    totals = cs[ent_off[1:] - 1] - base
+
+    # ---- whole-round expansion: every still-uncommitted product gets
+    # its (row, column, value) up front at entry granularity; the
+    # lockstep iterations then slice disjoint windows out of these
+    # arrays.  Only the first entry of each block's remainder can be
+    # partially consumed, so per entry the window is a clip against the
+    # block's resume point --------------------------------------------
+    c0s = np.fromiter((blk.committed for blk in pending), np.int64, n_pending)
+    rem = totals - c0s
+    exp_off = np.zeros(n_pending + 1, dtype=np.int64)
+    np.cumsum(rem, out=exp_off[1:])
+    prev = cs - counts_cat  # per-entry global product start
+    lo = np.maximum(prev, np.repeat(base + c0s, n_ent))
+    take = np.maximum(cs - lo, 0)
+    exp_rows = np.repeat(local_row_cat, take)
+    # products walk each referenced B row back to front, so an entry's
+    # committed prefix occupies the row's tail and the remainder is the
+    # first ``take`` elements, emitted in descending offset order
+    b_elem = _ragged_revrange(b_start_cat, take)
+    exp_cols = b.col_idx[b_elem]
+    exp_vals = (
+        np.repeat(a_vals_cat, take) * b.values[b_elem]
+    ).astype(dtype, copy=False)
+    del prev, lo, take, b_elem
+
+    # ---- per-block setup charges, long rows, WD placement -------------
+    states: list[_EscState] = []
+    runs: list[OptimisticRun] = []
+    empty_i = np.zeros(0, dtype=np.int64)
+    empty_v = np.zeros(0, dtype=dtype)
+    for k, blk in enumerate(pending):
+        blk.attempts += 1
+        meter = CostMeter(config=cfg, constants=opts.costs)
+        scratch = Scratchpad.for_device(cfg)
+        n = int(n_ent[k])
+        ent0 = int(ent_off[k])
+        meter.global_read(n, opts.col_index_bytes + dtype.itemsize)
+        meter.global_read(n, 4)
+        scratch.alloc_array("A_cols", n, 4)
+        scratch.alloc_array("A_vals", n, dtype.itemsize)
+        scratch.alloc_array("A_rows", n, 4)
+        meter.alu(2 * n)  # local row dictionary
+        meter.global_read(n, 8, coalesced=False)
+
+        st = _EscState(
+            blk=blk,
+            meter=meter,
+            scratch=scratch,
+            n=n,
+            ent0=ent0,
+            g0=int(g_off[k]),
+            uoff=int(uniq_off[k]),
+            base=int(base[k]),
+            total=int(totals[k]),
+            c=blk.committed,
+            exp_pos=int(exp_off[k]),
+            carried_rows=empty_i,
+            carried_cols=empty_i,
+            carried_vals=empty_v,
+        )
+        run = OptimisticRun(
+            worker=blk,
+            meter=meter,
+            records=st.records,
+            on_success=_esc_on_success,
+            on_fail=_esc_on_fail,
+        )
+
+        # Write Long Rows (§3.4): pointer chunks, in entry order
+        if opts.enable_long_row_handling:
+            long_entries = np.nonzero(long_mask_cat[ent0 : ent0 + n])[0]
+            for j, e in enumerate(long_entries.tolist()):
+                if j < blk.n_long_emitted:
+                    continue  # already emitted before a restart
+                row = int(a_rows_cat[ent0 + e])
+                chunk = Chunk(
+                    order_key=blk._next_chunk_key(),
+                    kind="pointer",
+                    first_row=row,
+                    last_row=row,
+                    b_row=int(a_cols_cat[ent0 + e]),
+                    factor=float(a_vals_cat[ent0 + e]),
+                    b_length=int(b_len_cat[ent0 + e]),
+                )
+                rec = AllocationRecord(
+                    chunk=chunk,
+                    nbytes=ectx.pool.data_bytes(0, 0),
+                    pre_cycles=meter.cycles,
+                    pre_counters=snapshot_counters(meter.counters),
+                    commit=("insert", [row], [chunk.b_length]),
+                    restore={
+                        "committed": blk.committed,
+                        "n_long_emitted": blk.n_long_emitted,
+                    },
+                )
+                meter.atomic(1)  # pool bump allocation
+                meter.global_write(1, ectx.pool.data_bytes(0, 0))
+                meter.atomic(2)  # tracker insert (one row)
+                blk.n_long_emitted += 1
+                st.records.append(rec)
+
+        # LocalWorkDistribution: placement + optional restart drop
+        scratch.alloc_array("WDState", n + 1, 4)
+        meter.scan(n)  # place_work's inclusive prefix sum
+        if blk.committed:
+            meter.scratchpad(n)  # restart_from
+
+        worst_bits = bits_required(max(0, n - 1)) + bits_required(
+            max(0, b.cols - 1)
+        )
+        key_bytes = 4 if worst_bits <= 32 else 8
+        scratch.alloc_array("ESC_keys", epb, key_bytes)
+        scratch.alloc_array("ESC_vals", epb, dtype.itemsize)
+
+        states.append(st)
+        runs.append(run)
+
+    # ---- lockstep ESC iterations --------------------------------------
+    # the per-block charges below are hand-inlined CostMeter sequences:
+    # each `cyc +=` mirrors one method-internal addition in call order,
+    # so float accumulation is bit-identical to the reference's
+    costs = opts.costs
+    lanes = costs.scratchpad_lanes
+    alanes = costs.alu_lanes
+    bpc = costs.bytes_per_cycle
+    tx_bytes = cfg.global_transaction_bytes
+    rbp = costs.radix_bits_per_pass
+    rpa = costs.radix_pass_alu_per_element
+    rps = costs.radix_pass_scratch_per_element
+    hdr_tx = -(-32 // tx_bytes)
+    hdr_cyc = (hdr_tx * tx_bytes) / bpc
+    ac = costs.atomic_cycles
+    active = list(states)
+    while active:
+        runnable: list[_EscState] = []
+        for st in active:
+            st.taken = min(epb - st.carried_rows.shape[0], st.total - st.c)
+            if st.taken == 0 and st.carried_rows.shape[0] == 0:
+                _esc_finish(st)  # drained with nothing held locally
+            else:
+                runnable.append(st)
+        if not runnable:
+            break
+
+        # precomputed expansion windows: each block's consumption is the
+        # next window of the round arrays (charges are batched below)
+        for st in runnable:
+            t = st.taken
+            if t:
+                st.new_lo = st.exp_pos
+                st.exp_pos += t
+                st.new_hi = st.exp_pos
+                st.c += t
+
+        # assemble [carried, new] per segment (carried first: the stable
+        # sort keeps accumulated values ahead of new products)
+        parts_r: list[np.ndarray] = []
+        parts_c: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        seg_sizes = np.empty(len(runnable), dtype=np.int64)
+        for i, st in enumerate(runnable):
+            if st.carried_rows.shape[0]:
+                parts_r.append(st.carried_rows)
+                parts_c.append(st.carried_cols)
+                parts_v.append(st.carried_vals)
+            if st.taken:
+                parts_r.append(exp_rows[st.new_lo : st.new_hi])
+                parts_c.append(exp_cols[st.new_lo : st.new_hi])
+                parts_v.append(exp_vals[st.new_lo : st.new_hi])
+            seg_sizes[i] = st.carried_rows.shape[0] + st.taken
+        rows_b = np.concatenate(parts_r)
+        cols_b = np.concatenate(parts_c)
+        vals_b = np.concatenate(parts_v)
+        seg_off = np.zeros(len(runnable) + 1, dtype=np.int64)
+        np.cumsum(seg_sizes, out=seg_off[1:])
+        seg_starts = seg_off[:-1]
+
+        seg_sizes_list = seg_sizes.tolist()
+
+        # dynamic bit reduction (§3.2.3), per segment.  Row ranges come
+        # free: carried runs and expansion windows are both row-sorted.
+        if opts.enable_bit_reduction:
+            cmin = np.minimum.reduceat(cols_b, seg_starts)
+            cmax = np.maximum.reduceat(cols_b, seg_starts)
+            rmin_list: list[int] = []
+            rmax_list: list[int] = []
+            for st in runnable:
+                if st.carried_rows.shape[0]:
+                    r0 = int(st.carried_rows[0])
+                    r1 = int(st.carried_rows[-1])
+                    if st.taken:
+                        r0 = min(r0, int(exp_rows[st.new_lo]))
+                        r1 = max(r1, int(exp_rows[st.new_hi - 1]))
+                else:
+                    r0 = int(exp_rows[st.new_lo])
+                    r1 = int(exp_rows[st.new_hi - 1])
+                rmin_list.append(r0)
+                rmax_list.append(r1)
+        else:
+            cmin = np.zeros(len(runnable), dtype=np.int64)
+            cmax = np.full(len(runnable), b.cols - 1, dtype=np.int64)
+            rmin_list = [0] * len(runnable)
+            rmax_list = [max(0, st.n - 1) for st in runnable]
+        cmin_list = cmin.tolist()
+        col_bits_list = [bits_required(d) for d in (cmax - cmin).tolist()]
+        row_bits_list = [
+            bits_required(r1 - r0) for r0, r1 in zip(rmin_list, rmax_list)
+        ]
+        key_bits_list = [r + c for r, c in zip(row_bits_list, col_bits_list)]
+
+        # one shared column width for the whole iteration: each segment's
+        # key stays monotone in (row, col) with identical tie structure,
+        # so sort order and run equality are unchanged while both minimum
+        # subtractions fold into a single scalar offset per segment.
+        # Charged bit counts (key_bits_list) still use per-segment widths.
+        cbmax = max(col_bits_list)
+        sort_bits_list = [r + cbmax for r in row_bits_list]
+        off_list = [
+            (r0 << cbmax) + c0 for r0, c0 in zip(rmin_list, cmin_list)
+        ]
+        # (cbmax < 16 keeps every shift strictly inside the 16-bit lane)
+        kdt = (
+            np.uint16
+            if cbmax < 16 and max(sort_bits_list) <= 16
+            else np.uint64
+        )
+        # modular arithmetic: intermediates may wrap, the reduced key
+        # fits the dtype, so the wrapped result is exact
+        keys = rows_b.astype(kdt)
+        keys <<= cbmax
+        keys += cols_b.astype(kdt)
+        if any(off_list):
+            mask = int(np.iinfo(kdt).max)
+            keys -= np.repeat(
+                np.asarray([o & mask for o in off_list], dtype=kdt),
+                seg_sizes,
+            )
+
+        perm = _segmented_sort(keys, seg_sizes, seg_off, sort_bits_list)
+        keys_s = keys[perm]
+        vals_s = vals_b[perm]
+
+        comp_keys, comp_vals, comp_counts = _segmented_compact(
+            keys_s, vals_s, seg_off
+        )
+        comp_off = np.zeros(len(runnable) + 1, dtype=np.int64)
+        np.cumsum(comp_counts, out=comp_off[1:])
+        comp_total = int(comp_off[-1])
+        rl = comp_keys >> cbmax
+        comp_rows_all = rl.astype(np.int64)
+        rl <<= cbmax
+        comp_cols_all = (comp_keys - rl).astype(np.int64)
+        if any(rmin_list):
+            comp_rows_all += np.repeat(
+                np.asarray(rmin_list, dtype=np.int64), comp_counts
+            )
+        if any(cmin_list):
+            comp_cols_all += np.repeat(cmin, comp_counts)
+        # ---- the iteration's per-block charges, vectorised -------------
+        # Each elementwise addition below mirrors one CostMeter-internal
+        # addition in reference call order (receive, minmax scans, radix
+        # sort, compaction), so per-meter float accumulation stays
+        # bit-identical: IEEE-754 ops are elementwise deterministic, and
+        # no meter is read between receive and the emission loop.
+        nb = len(runnable)
+        t_arr = np.fromiter((st.taken for st in runnable), np.int64, nb)
+        n_arr = np.fromiter((st.n for st in runnable), np.int64, nb)
+        cyc0 = np.fromiter(
+            (st.meter.cycles for st in runnable), np.float64, nb
+        )
+        t2 = 2 * t_arr
+        cyc_arr = cyc0 + epb / lanes  # clear(Offsets)
+        cyc_arr += (2 * n_arr) / lanes  # state reads
+        cyc_arr += t2 / lanes  # inclusive max scan
+        cyc_arr += t2 / alanes
+        cyc_arr += t2 / lanes  # layout exchange
+        cyc_arr += t2 / alanes
+        cyc_arr += n_arr / lanes  # state decrement
+        payload = t_arr * elem_bytes
+        tx = -(-payload // tx_bytes)
+        cyc_arr += (tx * tx_bytes) / bpc  # read B columns/values
+        cyc_arr += t2 / alanes  # flops
+        took = t_arr > 0
+        # receive_work is skipped entirely when nothing was taken
+        cyc_arr = np.where(took, cyc_arr, cyc0)
+        s2 = 2 * seg_sizes
+        if opts.enable_bit_reduction:
+            sc = s2 / lanes
+            sa = s2 / alanes
+            cyc_arr += sc  # minmax scan over columns
+            cyc_arr += sa
+            cyc_arr += sc  # minmax scan over rows
+            cyc_arr += sa
+        kb_arr = np.asarray(key_bits_list, dtype=np.int64)
+        passes = np.maximum(1, -(-kb_arr // rbp))
+        pe = passes * seg_sizes
+        pa = (pe * rpa).astype(np.int64)
+        ps = (pe * rps).astype(np.int64)
+        cyc_arr += pa / alanes  # radix rank arithmetic
+        cyc_arr += ps / lanes  # radix scatter round trips
+        cyc_arr += s2 / alanes  # compaction neighbour compares
+        cyc_arr += s2 / lanes  # Algorithm 3's single scan
+        cyc_arr += s2 / alanes
+        spa = ps + s2
+        if opts.enable_bit_reduction:
+            spa += 2 * s2
+        spa += np.where(took, epb + 3 * n_arr + 4 * t_arr, 0)
+        cyc_l = cyc_arr.tolist()
+        spa_l = spa.tolist()
+        gtx_l = tx.tolist()  # zero wherever nothing was taken
+        gbr_l = payload.tolist()
+        fl_l = t2.tolist()
+        p_l = passes.tolist()
+        for i, st in enumerate(runnable):
+            st.meter.cycles = cyc_l[i]
+            k = st.meter.counters
+            k.scratchpad_accesses += spa_l[i]
+            k.global_transactions += gtx_l[i]
+            k.global_bytes_read += gbr_l[i]
+            k.flops += fl_l[i]
+            k.sorted_elements += seg_sizes_list[i]
+            k.sort_passes += p_l[i]
+
+        # ---- batch the per-block emission bookkeeping ------------------
+        # global row id of every compacted entry
+        uoffs = np.fromiter((st.uoff for st in runnable), np.int64, len(runnable))
+        glob_rows_all = uniq_rows_cat[
+            comp_rows_all + np.repeat(uoffs, comp_counts)
+        ]
+        # per-(segment, row) runs: tracker commit lists and keep decisions
+        rflag = np.empty(comp_total, dtype=bool)
+        rflag[0] = True
+        np.not_equal(comp_rows_all[1:], comp_rows_all[:-1], out=rflag[1:])
+        rflag[comp_off[:-1]] = True
+        rpos = np.nonzero(rflag)[0]
+        rcnt = np.empty(rpos.shape[0], dtype=np.int64)
+        np.subtract(rpos[1:], rpos[:-1], out=rcnt[:-1])
+        rcnt[-1] = comp_total - rpos[-1]
+        run_rows_list = glob_rows_all[rpos].tolist()
+        run_cnt_list = rcnt.tolist()
+        rcum = np.cumsum(rflag)
+        r_lo_list = (rcum[comp_off[:-1]] - 1).tolist()
+        r_hi_list = rcum[comp_off[1:] - 1].tolist()
+        # keep-last-row candidate == size of each segment's last row run
+        last_start = rpos[rcum[comp_off[1:] - 1] - 1]
+        keep_cand_list = (comp_off[1:] - last_start).tolist()
+        # commit point if the last row is kept: its first original product
+        last_local = comp_rows_all[comp_off[1:] - 1]
+        g0s = np.fromiter((st.g0 for st in runnable), np.int64, len(runnable))
+        bases = np.fromiter((st.base for st in runnable), np.int64, len(runnable))
+        orig_list = (G[g0s + fe_local_cat[uoffs + last_local]] - bases).tolist()
+        comp_off_list = comp_off.tolist()
+
+        # ---- per-block keep-last-row decision and chunk emission -------
+        keep_elems = cfg.keep_elements
+        enable_keep = opts.enable_keep_last_row
+        itemsize = dtype.itemsize
+        col_bytes = opts.col_index_bytes
+        next_active: list[_EscState] = []
+        for i, st in enumerate(runnable):
+            lo_c, hi_c = comp_off_list[i], comp_off_list[i + 1]
+            comp_n = hi_c - lo_c
+            blk = st.blk
+            meter = st.meter
+            wd_empty = st.c == st.total
+            keep_n = 0
+            if not wd_empty and enable_keep and comp_n:
+                keep_n = keep_cand_list[i]
+                if keep_n > keep_elems:
+                    keep_n = 0  # too large to hold locally: spill everything
+            write_n = comp_n - keep_n
+
+            if write_n:
+                commit_point = min(st.c, orig_list[i]) if keep_n else st.c
+                r_lo = r_lo_list[i]
+                r_hi = r_hi_list[i] - 1 if keep_n else r_hi_list[i]
+                rows_u = run_rows_list[r_lo:r_hi]
+                counts_u = run_cnt_list[r_lo:r_hi]
+                # slices stay views: the iteration's comp arrays are
+                # never written again, so chunks can share their storage
+                chunk = Chunk(
+                    order_key=blk._next_chunk_key(),
+                    kind="data",
+                    first_row=rows_u[0],
+                    last_row=rows_u[-1],
+                    rows=glob_rows_all[lo_c : lo_c + write_n],
+                    cols=comp_cols_all[lo_c : lo_c + write_n],
+                    vals=comp_vals[lo_c : lo_c + write_n],
+                )
+                nbytes = ectx.pool.data_bytes(write_n, itemsize, col_bytes)
+                rec = AllocationRecord(
+                    chunk=chunk,
+                    nbytes=nbytes,
+                    pre_cycles=meter.cycles,
+                    pre_counters=snapshot_counters(meter.counters),
+                    commit=("insert", rows_u, counts_u),
+                    restore={
+                        "committed": blk.committed,
+                        "n_long_emitted": blk.n_long_emitted,
+                    },
+                )
+                k = meter.counters
+                w2 = 2 * write_n
+                payload = write_n * elem_bytes
+                tx = -(-payload // tx_bytes)
+                nr2 = 2 * len(rows_u)
+                cyc = meter.cycles
+                cyc += 1 * ac  # pool bump allocation
+                cyc += w2 / lanes  # stage the chunk in scratchpad
+                cyc += (tx * tx_bytes) / bpc  # write the chunk payload
+                cyc += hdr_cyc  # header
+                cyc += nr2 * ac  # tracker inserts
+                meter.cycles = cyc
+                k.atomic_ops += 1 + nr2
+                k.scratchpad_accesses += w2
+                k.global_transactions += tx + hdr_tx
+                k.global_bytes_written += payload + 32
+                st.records.append(rec)
+                blk.committed = commit_point
+            elif wd_empty and comp_n == 0:
+                _esc_finish(st)
+                continue
+
+            if keep_n:
+                st.carried_rows = comp_rows_all[lo_c + write_n : hi_c]
+                st.carried_cols = comp_cols_all[lo_c + write_n : hi_c]
+                st.carried_vals = comp_vals[lo_c + write_n : hi_c]
+            else:
+                st.carried_rows = empty_i
+                st.carried_cols = empty_i
+                st.carried_vals = empty_v
+
+            if wd_empty and st.carried_rows.shape[0] == 0:
+                _esc_finish(st)
+            else:
+                next_active.append(st)
+        active = next_active
+
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# stage 3: batched Multi Merge
+# ---------------------------------------------------------------------------
+
+
+def _multi_merge_optimistic_batch(
+    ectx: EngineContext, workers: list
+) -> list[OptimisticRun]:
+    opts = ectx.options
+    cfg = opts.device
+    b = ectx.b
+    dtype = opts.value_dtype
+    epb = cfg.elements_per_block
+
+    # gather every group's segments (charges the per-segment reads)
+    meters: list[CostMeter] = []
+    grp_rows: list[np.ndarray] = []
+    grp_cols: list[np.ndarray] = []
+    grp_vals: list[np.ndarray] = []
+    for w in workers:
+        meter = CostMeter(config=cfg, constants=opts.costs)
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[np.ndarray] = []
+        for rel, row in enumerate(w.rows):
+            segs = gather_row_segments(row, ectx.tracker, b, opts, meter)
+            for c, v in zip(segs.cols, segs.vals):
+                rows_parts.append(np.full(c.shape[0], rel, dtype=np.int64))
+                cols_parts.append(c)
+                vals_parts.append(v)
+        rows_rel = np.concatenate(rows_parts)
+        cols = np.concatenate(cols_parts)
+        vals = np.concatenate(vals_parts)
+        if cols.shape[0] > epb:
+            raise AssertionError(
+                "Multi Merge group exceeds block capacity — assignment bug"
+            )
+        if cols.shape[0] == 0:
+            raise AssertionError("empty Multi Merge group — assignment bug")
+        meters.append(meter)
+        grp_rows.append(rows_rel)
+        grp_cols.append(cols)
+        grp_vals.append(vals)
+
+    seg_sizes = np.fromiter((c.shape[0] for c in grp_cols), np.int64, len(workers))
+    seg_off = np.zeros(len(workers) + 1, dtype=np.int64)
+    np.cumsum(seg_sizes, out=seg_off[1:])
+    rows_b = np.concatenate(grp_rows)
+    cols_b = np.concatenate(grp_cols)
+    vals_b = np.concatenate(grp_vals)
+
+    # esc_merge_batch per group: column-only bit reduction, rows as-is
+    if opts.enable_bit_reduction:
+        cmin = np.minimum.reduceat(cols_b, seg_off[:-1])
+        cmax = np.maximum.reduceat(cols_b, seg_off[:-1])
+        for i in range(len(workers)):
+            meters[i].scan(int(seg_sizes[i]))
+    else:
+        cmin = np.zeros(len(workers), dtype=np.int64)
+        cmax = np.maximum.reduceat(cols_b, seg_off[:-1])
+    col_bits = np.fromiter(
+        (bits_required(max(0, int(cmax[i] - cmin[i]))) for i in range(len(workers))),
+        np.int64,
+        len(workers),
+    )
+    row_bits = np.fromiter(
+        (bits_required(max(0, len(w.rows) - 1)) for w in workers),
+        np.int64,
+        len(workers),
+    )
+    key_bits = row_bits + col_bits
+
+    keys = rows_b.astype(np.uint64)
+    keys <<= np.repeat(col_bits, seg_sizes).astype(np.uint64)
+    keys |= (cols_b - np.repeat(cmin, seg_sizes)).astype(np.uint64)
+    perm = _segmented_sort(keys, seg_sizes, seg_off, key_bits.tolist())
+    keys_s = keys[perm]
+    vals_s = vals_b[perm]
+    for i in range(len(workers)):
+        meters[i].radix_sort(int(seg_sizes[i]), int(key_bits[i]))
+
+    comp_keys, comp_vals, comp_counts = _segmented_compact(keys_s, vals_s, seg_off)
+    comp_off = np.zeros(len(workers) + 1, dtype=np.int64)
+    np.cumsum(comp_counts, out=comp_off[1:])
+    rep_cb = np.repeat(col_bits, comp_counts).astype(np.uint64)
+    rl = comp_keys >> rep_cb
+    comp_rows_all = rl.astype(np.int64)
+    rl <<= rep_cb
+    comp_cols_all = (comp_keys - rl).astype(np.int64) + np.repeat(
+        cmin, comp_counts
+    )
+
+    runs: list[OptimisticRun] = []
+    for i, w in enumerate(workers):
+        meter = meters[i]
+        m = int(seg_sizes[i])
+        meter.alu(2 * m)  # compaction neighbour compares
+        meter.scan(m)  # Algorithm 3's single scan
+        lo_c, hi_c = int(comp_off[i]), int(comp_off[i + 1])
+        comp_n = hi_c - lo_c
+        comp_rows = comp_rows_all[lo_c:hi_c]
+        meter.alu(m - comp_n)  # the merge's re-combining additions
+        rows_global = np.asarray(w.rows, dtype=np.int64)[comp_rows]
+        from ..core.merge import MERGE_BLOCK_SEQ_BASE
+
+        chunk = Chunk(
+            order_key=(MERGE_BLOCK_SEQ_BASE + w.block_index, 0),
+            kind="data",
+            first_row=int(rows_global[0]),
+            last_row=int(rows_global[-1]),
+            rows=rows_global,
+            cols=comp_cols_all[lo_c:hi_c],
+            vals=comp_vals[lo_c:hi_c],
+        )
+        nbytes = ectx.pool.data_bytes(comp_n, dtype.itemsize, opts.col_index_bytes)
+        counts = np.bincount(comp_rows, minlength=len(w.rows))
+        rec = AllocationRecord(
+            chunk=chunk,
+            nbytes=nbytes,
+            pre_cycles=meter.cycles,
+            pre_counters=snapshot_counters(meter.counters),
+            commit=("replace", list(w.rows), [int(c) for c in counts]),
+        )
+        meter.atomic(1)  # pool bump allocation
+        meter.scratchpad(2 * comp_n)
+        meter.global_write(comp_n, opts.element_bytes)
+        meter.global_write(1, 32)
+        meter.atomic(len(w.rows))  # per-row count/list swap
+        runs.append(OptimisticRun(worker=w, meter=meter, records=[rec]))
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# stage 4: batched chunk copy
+# ---------------------------------------------------------------------------
+
+
+def _copy_chunks_batched(
+    ectx: EngineContext, row_ptr: np.ndarray, counter_sink: CostMeter
+) -> tuple[CSRMatrix, list[float]]:
+    pool, tracker, b, opts = ectx.pool, ectx.tracker, ectx.b, ectx.options
+    n_rows = tracker.n_rows
+    nnz = int(row_ptr[-1])
+    col_idx = np.empty(nnz, dtype=np.int64)
+    values = np.empty(nnz, dtype=opts.value_dtype)
+    written = np.zeros(nnz, dtype=bool)
+
+    chunks = list(pool.ordered_chunks())
+    n_chunks = len(chunks)
+    cindex = {id(ch): i for i, ch in enumerate(chunks)}
+
+    # (chunk, row) liveness as sorted composite keys: a row belongs to a
+    # chunk iff the tracker's final per-row list still references it
+    okeys: list[int] = []
+    for row, lst in tracker.row_lists.items():
+        for ch in lst:
+            okeys.append(cindex[id(ch)] * n_rows + row)
+    owned_keys = np.sort(np.asarray(okeys, dtype=np.int64))
+    copied_per_chunk = [0] * n_chunks
+
+    # ---- pointer chunks: single-row slice copies ----------------------
+    for ci, chunk in enumerate(chunks):
+        if chunk.kind != "pointer":
+            continue
+        row = chunk.first_row
+        key = ci * n_rows + row
+        j = int(np.searchsorted(owned_keys, key))
+        if j >= owned_keys.shape[0] or int(owned_keys[j]) != key:
+            continue
+        lo = b.row_ptr[chunk.b_row]
+        m = chunk.b_length
+        base = int(row_ptr[row]) + chunk.segment_offset(row)
+        if base + m > int(row_ptr[row + 1]):
+            raise AssertionError(f"chunk copy overflows row {row}")
+        dest = slice(base, base + m)
+        if written[dest].any():
+            raise AssertionError(f"double write into row {row}")
+        col_idx[dest] = b.col_idx[lo : lo + m]
+        values[dest] = chunk.factor * b.values[lo : lo + m]
+        written[dest] = True
+        copied_per_chunk[ci] = m
+
+    # ---- data chunks: one global gather/scatter over all of them ------
+    data_ci = np.fromiter(
+        (
+            ci
+            for ci, ch in enumerate(chunks)
+            if ch.kind == "data" and ch.rows.shape[0]
+        ),
+        np.int64,
+    )
+    if data_ci.shape[0]:
+        dchunks = [chunks[ci] for ci in data_ci.tolist()]
+        lens = np.fromiter(
+            (ch.rows.shape[0] for ch in dchunks), np.int64, len(dchunks)
+        )
+        off = np.zeros(len(dchunks) + 1, dtype=np.int64)
+        np.cumsum(lens, out=off[1:])
+        rows_cat = np.concatenate([ch.rows for ch in dchunks])
+        cols_cat = np.concatenate([ch.cols for ch in dchunks])
+        vals_cat = np.concatenate([ch.vals for ch in dchunks])
+        n_tot = rows_cat.shape[0]
+
+        # per-(chunk, row) runs via boundary flags with chunk breaks
+        flag = np.empty(n_tot, dtype=bool)
+        flag[0] = True
+        np.not_equal(rows_cat[1:], rows_cat[:-1], out=flag[1:])
+        flag[off[:-1]] = True
+        pos = np.nonzero(flag)[0]
+        run_cnt = np.empty(pos.shape[0], dtype=np.int64)
+        np.subtract(pos[1:], pos[:-1], out=run_cnt[:-1])
+        run_cnt[-1] = n_tot - pos[-1]
+        run_row = rows_cat[pos]
+        # pos ascends, so invert the chunk lookup (|off| ≪ |pos|)
+        run_di = np.cumsum(
+            np.bincount(
+                np.searchsorted(pos, off[1:], side="left"),
+                minlength=pos.shape[0] + 1,
+            )[: pos.shape[0]]
+        )
+        run_key = data_ci[run_di] * n_rows + run_row
+        if owned_keys.shape[0]:
+            j = np.searchsorted(owned_keys, run_key)
+            jc = np.minimum(j, owned_keys.shape[0] - 1)
+            live = owned_keys[jc] == run_key
+        else:
+            live = np.zeros(pos.shape[0], dtype=bool)
+
+        # rows split over merge-produced chunks carry explicit in-row
+        # segment offsets; everything else starts at the row pointer
+        seg_base = np.zeros(pos.shape[0], dtype=np.int64)
+        has_off = np.fromiter(
+            (ch.segment_offsets is not None for ch in dchunks),
+            bool,
+            len(dchunks),
+        )
+        special = np.nonzero(live & has_off[run_di])[0]
+        for ri in special.tolist():
+            ch = dchunks[int(run_di[ri])]
+            seg_base[ri] = ch.segment_offsets.get(int(run_row[ri]), 0)
+
+        rows_l = run_row[live]
+        cnt_l = run_cnt[live]
+        dst_base = row_ptr[rows_l] + seg_base[live]
+        if np.any(dst_base + cnt_l > row_ptr[rows_l + 1]):
+            raise AssertionError("chunk copy overflows a row")
+        src = _ragged_arange(pos[live], cnt_l)
+        dst = _ragged_arange(dst_base, cnt_l)
+        if written[dst].any():
+            raise AssertionError("double write during chunk copy")
+        col_idx[dst] = cols_cat[src]
+        values[dst] = vals_cat[src]
+        written[dst] = True
+
+        copied_data = np.bincount(
+            run_di[live], weights=cnt_l, minlength=len(dchunks)
+        ).astype(np.int64)
+        for di, cp in zip(data_ci.tolist(), copied_data.tolist()):
+            copied_per_chunk[di] = cp
+
+    # ---- per-chunk charges: cycles/counters depend only on the copied
+    # count, so identical counts share one freshly charged meter --------
+    elem_bytes = opts.element_bytes
+    block_cycles: list[float] = []
+    charge_cache: dict[int, tuple[float, int, int, int]] = {}
+    sum_read = sum_written = sum_tx = 0
+    for cp in copied_per_chunk:
+        if not cp:
+            block_cycles.append(0.0)
+            continue
+        ent = charge_cache.get(cp)
+        if ent is None:
+            meter = CostMeter(config=opts.device, constants=opts.costs)
+            meter.global_read(cp, elem_bytes)
+            meter.global_write(cp, elem_bytes)
+            k = meter.counters
+            ent = (
+                meter.cycles,
+                k.global_bytes_read,
+                k.global_bytes_written,
+                k.global_transactions,
+            )
+            charge_cache[cp] = ent
+        block_cycles.append(ent[0])
+        sum_read += ent[1]
+        sum_written += ent[2]
+        sum_tx += ent[3]
+    sink = counter_sink.counters
+    sink.global_bytes_read += sum_read
+    sink.global_bytes_written += sum_written
+    sink.global_transactions += sum_tx
+
+    if not written.all():
+        missing = int((~written).sum())
+        raise AssertionError(f"{missing} output entries were never written")
+
+    c = CSRMatrix(
+        rows=n_rows,
+        cols=b.cols,
+        row_ptr=row_ptr,
+        col_idx=col_idx,
+        values=values,
+    )
+    return c, block_cycles
+
+
+# ---------------------------------------------------------------------------
+
+
+class BatchedEngine(ReferenceEngine):
+    """Fuse all ready blocks of each kernel launch into numpy batches.
+
+    Path and Search Merge rounds fall back to the per-block reference
+    path: their stateful mid-run restart cursors make batching fiddly
+    and they are a negligible share of host time.
+    """
+
+    name = "batched"
+
+    def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
+        runs = _esc_optimistic_batch(ectx, pending)
+        return replay_and_commit(
+            ectx.pool, ectx.tracker, runs, ectx.options.costs
+        )
+
+    def merge_round(
+        self, ectx: EngineContext, stage: str, workers: list
+    ) -> list[RoundOutcome]:
+        if stage == "MM":
+            runs = _multi_merge_optimistic_batch(ectx, workers)
+            return replay_and_commit(
+                ectx.pool, ectx.tracker, runs, ectx.options.costs
+            )
+        # PM/SM rounds share the reference implementation; run its sorts
+        # through the single-pass execution mode (same permutations, same
+        # charges — see fast_stable_sort).
+        with fast_stable_sort():
+            return super().merge_round(ectx, stage, workers)
+
+    def copy_output(
+        self, ectx: EngineContext, row_ptr: np.ndarray, counter_sink
+    ):
+        return _copy_chunks_batched(ectx, row_ptr, counter_sink)

@@ -1,0 +1,188 @@
+"""Opt-in parallel host dispatcher over independent blocks.
+
+Runs the **unmodified** per-block code (:class:`~repro.core.esc.EscBlock`,
+:class:`~repro.core.merge.MultiMergeBlock`) on a thread pool.  Blocks in
+one kernel round are independent except for two shared mutations — the
+chunk-pool bump allocator and the row tracker — so each block executes
+against *shadow* objects that record its allocations without touching
+shared state, and :func:`repro.engine.replay.replay_and_commit` then
+applies them serially in block order.  That keeps pool exhaustion, chunk
+offsets, shared-row attribution and therefore every simulated statistic
+bit-identical to the reference engine.
+
+Path and Search Merge rounds stay sequential (their workers keep
+mid-run restart cursors that interact with the pool more intricately),
+as does the final chunk copy; ESC dominates the host time anyway.
+
+Threads, not processes: the block code is numpy-heavy and numpy releases
+the GIL in its kernels, and the recorded ``Chunk`` objects must remain
+shareable with the committing thread.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from ..gpu.block import BlockContext
+from .base import EngineContext, RoundOutcome
+from .reference import ReferenceEngine
+from .replay import AllocationRecord, OptimisticRun, replay_and_commit, snapshot_counters
+
+__all__ = ["ParallelEngine"]
+
+
+class _ShadowPool:
+    """Chunk-pool facade with unlimited virtual space.
+
+    ``allocate`` never raises; it snapshots the meter (the state the
+    reference would report if this allocation failed), charges the bump
+    atomic and appends an :class:`AllocationRecord`.  The real offsets
+    are assigned during the serial replay.
+    """
+
+    def __init__(self, real_pool, records: list, state_fn: Callable[[], dict]):
+        self._records = records
+        self._state_fn = state_fn
+        self.data_bytes = real_pool.data_bytes
+
+    def allocate(self, chunk, nbytes: int, meter):
+        if nbytes <= 0:
+            raise ValueError("chunk allocation must be positive")
+        rec = AllocationRecord(
+            chunk=chunk,
+            nbytes=nbytes,
+            pre_cycles=meter.cycles,
+            pre_counters=snapshot_counters(meter.counters),
+            commit=("insert", [], []),
+            restore=self._state_fn(),
+        )
+        meter.atomic(1)
+        self._records.append(rec)
+        return chunk
+
+
+class _ShadowTracker:
+    """Row-tracker facade: reads delegate to the real tracker (safe —
+    nothing mutates it while blocks execute optimistically), writes
+    attach the commit action to the block's latest allocation record."""
+
+    def __init__(self, real_tracker, records: list):
+        self._real = real_tracker
+        self._records = records
+        self.n_rows = real_tracker.n_rows
+
+    # -- reads (Multi Merge gathering) ----------------------------------
+    def chunks_for(self, row: int):
+        return self._real.chunks_for(row)
+
+    def is_shared(self, row: int) -> bool:
+        return self._real.is_shared(row)
+
+    # -- writes ----------------------------------------------------------
+    def insert_chunk(self, chunk, b, meter) -> None:
+        rec = self._records[-1]
+        assert rec.chunk is chunk, "insert must follow the chunk's allocation"
+        if chunk.kind == "pointer":
+            rows, counts = [chunk.first_row], [chunk.b_length]
+        else:
+            r, c = np.unique(chunk.rows, return_counts=True)
+            rows, counts = r.tolist(), [int(x) for x in c.tolist()]
+        # list-head exchange + row-count add per covered row; the extra
+        # shared-row atomic is order-dependent and deferred to the replay
+        meter.atomic(2 * len(rows))
+        rec.commit = ("insert", rows, counts)
+
+    def replace_row(self, row: int, new_chunks: list, new_count: int) -> None:
+        rec = self._records[-1]
+        assert len(new_chunks) == 1 and new_chunks[0] is rec.chunk
+        if rec.commit[0] != "replace":
+            rec.commit = ("replace", [], [])
+        rec.commit[1].append(row)
+        rec.commit[2].append(int(new_count))
+
+
+class ParallelEngine(ReferenceEngine):
+    """Thread-pool execution of the per-block reference code."""
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers
+
+    def _pool_size(self, n_tasks: int) -> int:
+        limit = self._max_workers or min(32, os.cpu_count() or 1)
+        return max(1, min(limit, n_tasks))
+
+    def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
+        opts = ectx.options
+
+        def execute(blk):
+            records: list[AllocationRecord] = []
+            ctx = BlockContext(
+                config=opts.device, block_id=blk.block_id, constants=opts.costs
+            )
+            shadow_pool = _ShadowPool(
+                ectx.pool,
+                records,
+                lambda blk=blk: {
+                    "committed": blk.committed,
+                    "n_long_emitted": blk.n_long_emitted,
+                },
+            )
+            shadow_tracker = _ShadowTracker(ectx.tracker, records)
+            blk.run(ctx, shadow_pool, shadow_tracker)
+            return ctx.meter, records
+
+        with ThreadPoolExecutor(self._pool_size(len(pending))) as ex:
+            results = list(ex.map(execute, pending))
+
+        runs: list[OptimisticRun] = []
+        for blk, (meter, records) in zip(pending, results):
+            # blk.run already booked the full optimistic attempt (cycles
+            # into total_cycles, done=True, final restart state); the
+            # callbacks correct it to the replay outcome.
+            full = meter.cycles
+
+            def on_success(worker, cycles, _full=full):
+                worker.total_cycles += cycles - _full
+
+            def on_fail(worker, rec, cycles, _full=full):
+                worker.committed = rec.restore["committed"]
+                worker.n_long_emitted = rec.restore["n_long_emitted"]
+                worker.chunk_seq = rec.chunk.order_key[1]
+                worker.done = False
+                worker.total_cycles += cycles - _full
+
+            runs.append(OptimisticRun(blk, meter, records, on_success, on_fail))
+        return replay_and_commit(ectx.pool, ectx.tracker, runs, opts.costs)
+
+    def merge_round(
+        self, ectx: EngineContext, stage: str, workers: list
+    ) -> list[RoundOutcome]:
+        if stage != "MM":
+            return super().merge_round(ectx, stage, workers)
+        opts = ectx.options
+
+        def execute(task):
+            idx, w = task
+            records: list[AllocationRecord] = []
+            ctx = BlockContext(
+                config=opts.device, block_id=idx, constants=opts.costs
+            )
+            shadow_pool = _ShadowPool(ectx.pool, records, dict)
+            shadow_tracker = _ShadowTracker(ectx.tracker, records)
+            w.run(ctx, shadow_tracker, shadow_pool, ectx.b, opts)
+            return ctx.meter, records
+
+        with ThreadPoolExecutor(self._pool_size(len(workers))) as ex:
+            results = list(ex.map(execute, enumerate(workers)))
+
+        runs = [
+            OptimisticRun(w, meter, records)
+            for w, (meter, records) in zip(workers, results)
+        ]
+        return replay_and_commit(ectx.pool, ectx.tracker, runs, opts.costs)

@@ -9,11 +9,42 @@ pass; sorting fewer bits executes — and is charged — fewer passes.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from .cost import CostMeter
 
-__all__ = ["radix_sort_permutation", "radix_sort_pairs", "bits_required"]
+__all__ = [
+    "radix_sort_permutation",
+    "radix_sort_pairs",
+    "bits_required",
+    "fast_stable_sort",
+]
+
+_fast_stable = False
+
+
+@contextlib.contextmanager
+def fast_stable_sort():
+    """Execute narrow sorts as one numpy radix argsort while active.
+
+    A stable LSD radix sort is, by composition of its stable passes, the
+    stable sort by the full key — so for keys at most 16 bits wide the
+    permutation can be produced by a single ``np.argsort(kind="stable")``
+    over a uint8/uint16 view, which numpy implements as an O(n) radix
+    sort.  This is an execution switch only: permutations and every
+    :class:`~repro.gpu.cost.CostMeter` charge (pass counts included) are
+    identical to the pass-by-pass path.  Batch-oriented engines enable it
+    around shared fallback stages; the reference engine never does.
+    """
+    global _fast_stable
+    prev = _fast_stable
+    _fast_stable = True
+    try:
+        yield
+    finally:
+        _fast_stable = prev
 
 
 def bits_required(max_value: int) -> int:
@@ -53,12 +84,22 @@ def radix_sort_permutation(
     keys = np.asarray(keys, dtype=np.uint64)
     order = np.arange(n, dtype=np.int64)
     current = keys.copy()
-    for shift in range(0, key_bits, bits_per_pass):
+    # Any digit decomposition of a stable LSD sort composes to the stable
+    # sort by the full key, so the executed digit width is free to differ
+    # from the charged one: under fast_stable_sort() we run 16-bit uint16
+    # digits (numpy argsorts them with an O(n) radix kernel; one pass
+    # covers the common <=16-bit keys) while charges stay keyed to
+    # ``key_bits`` alone.
+    exec_bits = 16 if _fast_stable else bits_per_pass
+    digit_dtype = np.uint16 if _fast_stable else np.int64
+    for shift in range(0, key_bits, exec_bits):
         # the final pass masks only the remaining bits: bits at or above
         # key_bits must not influence the order
-        pass_bits = min(bits_per_pass, key_bits - shift)
+        pass_bits = min(exec_bits, key_bits - shift)
         mask = np.uint64((1 << pass_bits) - 1)
-        digits = ((current >> np.uint64(shift)) & mask).astype(np.int64)
+        digits = ((current >> np.uint64(shift)) & mask).astype(digit_dtype)
+        if digits[0] == digits[-1] and (digits == digits[0]).all():
+            continue  # all digits equal: the stable pass is the identity
         pass_order = _stable_counting_argsort(digits, 1 << pass_bits)
         order = order[pass_order]
         current = current[pass_order]

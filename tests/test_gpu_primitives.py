@@ -130,3 +130,46 @@ class TestRadixSort:
     def test_bad_bits(self, meter):
         with pytest.raises(ValueError):
             radix_sort_permutation(meter, np.array([1], dtype=np.uint64), 0)
+
+
+class TestExecutionShortcuts:
+    """Execution shortcuts never change permutations or charges."""
+
+    def test_equal_digit_fast_exit_charges_unchanged(self, rng):
+        # keys identical in the low byte: the first pass is skipped at
+        # execution time, yet the meter still charges all ceil(24/4)
+        # passes — the device would run them regardless
+        keys = (rng.integers(0, 1 << 16, 300).astype(np.uint64) << np.uint64(8)) | np.uint64(0x5A)
+        fast, slow = CostMeter(config=TITAN_XP), CostMeter(config=TITAN_XP)
+        perm = radix_sort_permutation(fast, keys, 24)
+        assert fast.counters.sort_passes == 6
+        assert fast.counters.sorted_elements == 300
+        # same keys with a varying low byte: identical charge totals
+        varied = keys | rng.integers(0, 256, 300).astype(np.uint64)
+        radix_sort_permutation(slow, varied, 24)
+        assert slow.counters == fast.counters
+        assert slow.cycles == fast.cycles
+        np.testing.assert_array_equal(perm, np.argsort(keys, kind="stable"))
+
+    @pytest.mark.parametrize("key_bits", [3, 8, 13, 16, 20, 24])
+    def test_fast_stable_sort_identical(self, rng, key_bits):
+        from repro.gpu.radix import fast_stable_sort
+
+        keys = rng.integers(0, 1 << 24, 700).astype(np.uint64)
+        plain_meter = CostMeter(config=TITAN_XP)
+        plain = radix_sort_permutation(plain_meter, keys, key_bits)
+        fast_meter = CostMeter(config=TITAN_XP)
+        with fast_stable_sort():
+            fast = radix_sort_permutation(fast_meter, keys, key_bits)
+        np.testing.assert_array_equal(fast, plain)
+        assert fast_meter.counters == plain_meter.counters
+        assert fast_meter.cycles == plain_meter.cycles
+
+    def test_fast_stable_sort_restores_flag(self):
+        from repro.gpu import radix
+
+        with pytest.raises(RuntimeError):
+            with radix.fast_stable_sort():
+                assert radix._fast_stable
+                raise RuntimeError("boom")
+        assert not radix._fast_stable
