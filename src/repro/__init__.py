@@ -18,6 +18,13 @@ paper-versus-measured record of every table and figure.
 
 from .core import AcSpgemmOptions, AcSpgemmResult, ac_spgemm
 from .gpu import SMALL_DEVICE, TITAN_XP, DeviceConfig
+from .resilience import (
+    FaultPlan,
+    FaultSpec,
+    ReproError,
+    RestartBudgetExceeded,
+    SanitizerError,
+)
 from .sparse import (
     COOMatrix,
     CSRMatrix,
@@ -37,7 +44,12 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "DeviceConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "ReproError",
+    "RestartBudgetExceeded",
     "SMALL_DEVICE",
+    "SanitizerError",
     "TITAN_XP",
     "__version__",
     "ac_spgemm",

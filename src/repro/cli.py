@@ -31,6 +31,7 @@ import numpy as np
 
 from .baselines import GPU_ALGORITHMS, make_algorithm
 from .core import AcSpgemmOptions, ac_spgemm
+from .resilience import ReproError
 from .sparse import (
     count_intermediate_products,
     load_matrix,
@@ -53,13 +54,28 @@ CSV_HEADERS = [
     "chunks",
     "shared_rows",
     "restarts",
+    "degraded",
     "verified",
 ]
 
 
-def _run_one(name: str, matrix, *, dtype, verify: bool, engine: str = "reference") -> dict:
+def _run_one(
+    name: str,
+    matrix,
+    *,
+    dtype,
+    verify: bool,
+    engine: str = "reference",
+    sanitize: bool = False,
+    fallback: bool = False,
+) -> dict:
     a, b = squared_operands(matrix)
-    opts = AcSpgemmOptions(value_dtype=dtype, engine=engine)
+    opts = AcSpgemmOptions(
+        value_dtype=dtype,
+        engine=engine,
+        sanitize=sanitize,
+        on_failure="fallback" if fallback else "raise",
+    )
     result = ac_spgemm(a, b, opts)
     temp = count_intermediate_products(a, b)
     verified = ""
@@ -85,6 +101,7 @@ def _run_one(name: str, matrix, *, dtype, verify: bool, engine: str = "reference
         "chunks": result.n_chunks,
         "shared_rows": result.shared_rows,
         "restarts": result.restarts,
+        "degraded": str(result.degraded) if result.degraded else "",
         "verified": verified,
     }
 
@@ -101,6 +118,7 @@ def cmd_single(args) -> int:
     row = _run_one(
         Path(args.matrix).stem, matrix,
         dtype=dtype, verify=args.verify, engine=args.engine,
+        sanitize=args.sanitize, fallback=args.fallback,
     )
     print(f"AC-SpGEMM on {args.matrix} "
           f"({'single' if args.float else 'double'} precision):")
@@ -136,7 +154,8 @@ def cmd_runall(args) -> int:
         try:
             rows.append(
                 _run_one(f.stem, load_matrix(f), dtype=dtype,
-                         verify=args.verify, engine=args.engine)
+                         verify=args.verify, engine=args.engine,
+                         sanitize=args.sanitize, fallback=args.fallback)
             )
             print(f"{f.stem}: {rows[-1]['gflops']} GFLOPS")
         except Exception as exc:  # noqa: BLE001 - isolation by design
@@ -153,7 +172,8 @@ def cmd_suite(args) -> int:
     rows = []
     for e in suite_entries()[: args.limit]:
         rows.append(_run_one(e.name, e.build(), dtype=dtype,
-                             verify=args.verify, engine=args.engine))
+                             verify=args.verify, engine=args.engine,
+                             sanitize=args.sanitize, fallback=args.fallback))
         print(f"{e.name}: {rows[-1]['gflops']} GFLOPS")
     _write_rows(args.out, rows)
     return 0
@@ -192,6 +212,10 @@ def main(argv=None) -> int:
     p.add_argument("--engine", default="reference",
                    choices=("reference", "batched", "parallel"),
                    help="host execution engine (identical results/stats)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="check pipeline invariants at stage boundaries")
+    p.add_argument("--fallback", action="store_true",
+                   help="degrade to the global-ESC baseline on failure")
     p.set_defaults(func=cmd_single)
 
     p = sub.add_parser("runall", help="run every matrix in a folder")
@@ -201,6 +225,8 @@ def main(argv=None) -> int:
     p.add_argument("--float", action="store_true")
     p.add_argument("--engine", default="reference",
                    choices=("reference", "batched", "parallel"))
+    p.add_argument("--sanitize", action="store_true")
+    p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_runall)
 
     p = sub.add_parser("suite", help="run the built-in synthetic suite")
@@ -210,6 +236,8 @@ def main(argv=None) -> int:
     p.add_argument("--float", action="store_true")
     p.add_argument("--engine", default="reference",
                    choices=("reference", "batched", "parallel"))
+    p.add_argument("--sanitize", action="store_true")
+    p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
@@ -218,7 +246,12 @@ def main(argv=None) -> int:
     p.set_defaults(func=cmd_compare)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # typed failures get a one-line diagnostic, never a traceback
+        print(f"repro: {exc.one_line()}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -15,6 +15,16 @@ another memory region") and relaunches only the unfinished blocks.
 accounting the evaluation section reports: per-stage simulated times
 (Figure 7), memory consumption (Table 3 / Figure 8), restart count and
 multiprocessor load (Table 3).
+
+Failure handling (see ``docs/ARCHITECTURE.md`` §6) also lives here:
+every engineered failure raises a typed
+:class:`~repro.resilience.errors.ReproError` with stage/block/restart
+context; ``options.fault_plan`` injects deterministic faults at the
+driver's chokepoints (identically on every engine);
+``options.sanitize`` checks pipeline invariants at stage boundaries;
+and ``options.on_failure="fallback"`` degrades unrecoverable runs to
+the global-ESC baseline instead of raising, recording the failure on
+the result.
 """
 
 from __future__ import annotations
@@ -27,10 +37,13 @@ from ..engine import get_engine
 from ..engine.base import EngineContext
 from ..gpu.cost import CostMeter
 from ..gpu.counters import TrafficCounters
-from ..gpu.scheduler import KernelTiming, schedule_blocks
+from ..gpu.memory import ScratchpadOverflow
+from ..gpu.scheduler import KernelTiming, partition_aborted, schedule_blocks
+from ..resilience.errors import ReproError, RestartBudgetExceeded, SanitizerError
+from ..resilience.sanitize import check_stage_boundary
 from ..sparse.csr import CSRMatrix
 from ..sparse.validate import validate_csr
-from .chunks import ChunkPool, RowChunkTracker
+from .chunks import ChunkPool, PoolExhausted, RowChunkTracker
 from .esc import EscBlock
 from .load_balance import global_load_balance
 from .memory_estimate import estimate_chunk_pool_bytes
@@ -91,6 +104,12 @@ class AcSpgemmResult:
     #: per-kernel execution trace (populated when
     #: ``options.collect_trace`` is set — the artifact's Debug mode)
     trace: object | None = None
+    #: True when the adaptive pipeline failed and the result was
+    #: recomputed by the global-ESC fallback (``on_failure="fallback"``)
+    degraded: bool = False
+    #: the failure that triggered degradation, as
+    #: ``ReproError.context()`` (kind/stage/block_id/restarts/message)
+    failure: dict | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -115,6 +134,16 @@ def _device_wide_cycles(meter: CostMeter, num_sms: int) -> float:
     return meter.cycles / num_sms
 
 
+def _worker_id(worker) -> int | None:
+    """Block id of an ESC block or merge worker, for error context."""
+    if worker is None:
+        return None
+    block_id = getattr(worker, "block_id", None)
+    if block_id is None:
+        block_id = getattr(worker, "block_index", None)
+    return block_id
+
+
 def ac_spgemm(
     a: CSRMatrix,
     b: CSRMatrix,
@@ -124,6 +153,11 @@ def ac_spgemm(
 
     Deterministic and bit-stable: repeated calls with the same inputs
     and options produce byte-identical results.
+
+    Unrecoverable execution failures raise typed
+    :class:`~repro.resilience.errors.ReproError` subclasses; with
+    ``options.on_failure="fallback"`` they degrade to the global-ESC
+    baseline instead (input-validation errors always raise).
     """
     opts = options or DEFAULT_OPTIONS
     if a.cols != b.rows:
@@ -131,9 +165,61 @@ def ac_spgemm(
             f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
         )
     if opts.validate_inputs:
-        validate_csr(a)
-        validate_csr(b)
+        # sanitizer mode also rejects non-finite values: a NaN/Inf input
+        # poisons every product it touches, which the stage-boundary
+        # checks cannot distinguish from state corruption
+        validate_csr(a, require_finite=opts.sanitize)
+        validate_csr(b, require_finite=opts.sanitize)
+    try:
+        return _run_pipeline(a, b, opts)
+    except (PoolExhausted, RestartBudgetExceeded, ScratchpadOverflow, SanitizerError) as exc:
+        if opts.on_failure != "fallback":
+            raise
+        return _degraded_result(a, b, opts, exc)
 
+
+def _degraded_result(
+    a: CSRMatrix, b: CSRMatrix, opts: AcSpgemmOptions, exc: ReproError
+) -> AcSpgemmResult:
+    """Recompute C with the global-ESC baseline after ``exc``.
+
+    The fallback gets one fresh conservative allocation (sized for every
+    temporary product, so it cannot fail the same way) and its C is
+    bit-identical to the Gustavson reference; the triggering failure is
+    recorded on the result instead of being raised.
+    """
+    from ..resilience.degrade import conservative_pool_bytes, fallback_multiply
+
+    run = fallback_multiply(a, b, opts)
+    stage_cycles = {k: 0.0 for k in STAGE_KEYS}
+    stage_cycles["FB"] = run.cycles
+    memory = MemoryReport(
+        helper_bytes=0,
+        chunk_pool_bytes=conservative_pool_bytes(a, b, opts),
+        chunk_used_bytes=run.extra_memory_bytes,
+        output_bytes=run.matrix.nbytes(),
+    )
+    return AcSpgemmResult(
+        matrix=run.matrix,
+        stage_cycles=stage_cycles,
+        counters=run.counters,
+        memory=memory,
+        restarts=exc.restarts or 0,
+        multiprocessor_load=1.0,
+        n_chunks=0,
+        n_blocks=0,
+        clock_ghz=opts.device.clock_ghz,
+        degraded=True,
+        failure=exc.context(),
+    )
+
+
+def _run_pipeline(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    opts: AcSpgemmOptions,
+) -> AcSpgemmResult:
+    """The four-stage pipeline proper (validated inputs, typed raises)."""
     cfg = opts.device
     engine = get_engine(opts.engine)
     launch = opts.costs.kernel_launch_cycles
@@ -165,7 +251,35 @@ def ac_spgemm(
     pool = ChunkPool(capacity_bytes=pool_bytes)
     tracker = RowChunkTracker(n_rows=a.rows)
 
+    injector = opts.fault_plan.activate() if opts.fault_plan is not None else None
+    if injector is not None:
+        pool.fault_hook = injector.pool_gate
+
     ectx = EngineContext(a=a, b=b, glb=glb, options=opts, pool=pool, tracker=tracker)
+
+    def enter_round(stage: str, round_index: int, pending_list: list, restarts: int):
+        """Apply driver-level injected faults at a stage-round entry.
+
+        Returns ``(run_list, aborted)``; both fault classes applied here
+        are decided before any engine work, so they are engine-identical
+        by construction.  An injected overflow raises immediately.
+        """
+        if injector is None:
+            return pending_list, []
+        spec = injector.overflow_for(stage, round_index)
+        if spec is not None:
+            victim = (
+                pending_list[min(spec.block, len(pending_list) - 1)]
+                if pending_list
+                else None
+            )
+            raise ScratchpadOverflow(
+                f"injected scratchpad overflow in {stage} round {round_index}",
+                stage=stage,
+                block_id=_worker_id(victim),
+                restarts=restarts,
+            )
+        return partition_aborted(pending_list, injector.aborts_for(stage, round_index))
 
     blocks = [
         EscBlock(block_id=i, a=a, b=b, glb=glb, options=opts)
@@ -173,11 +287,21 @@ def ac_spgemm(
     ]
     pending = list(blocks)
     restarts = 0
+    esc_round_index = 0
     while pending:
-        outcomes = engine.esc_round(ectx, pending)
+        run_list, aborted = enter_round("ESC", esc_round_index, pending, restarts)
+        esc_round_index += 1
+        outcomes = engine.esc_round(ectx, run_list) if run_list else []
         round_cycles = [o.cycles for o in outcomes]
+        # re-queue in original block order: aborted blocks keep their
+        # position relative to the blocks whose allocations failed
+        outcome_of = dict(zip(map(id, run_list), outcomes))
         still_pending: list[EscBlock] = []
-        for blk, outcome in zip(pending, outcomes):
+        for blk in pending:
+            outcome = outcome_of.get(id(blk))
+            if outcome is None:  # aborted before dispatch
+                still_pending.append(blk)
+                continue
             counters.merge(outcome.counters)
             if not outcome.done:
                 still_pending.append(blk)
@@ -190,8 +314,11 @@ def ac_spgemm(
         if still_pending:
             restarts += 1
             if restarts > opts.max_restarts:
-                raise RuntimeError(
-                    f"chunk pool restart limit exceeded ({opts.max_restarts})"
+                raise RestartBudgetExceeded(
+                    f"chunk pool restart limit exceeded ({opts.max_restarts})",
+                    stage="ESC",
+                    block_id=_worker_id(still_pending[0]),
+                    restarts=restarts - 1,
                 )
             growth = max(
                 int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
@@ -208,6 +335,9 @@ def ac_spgemm(
                 )
                 trace.record_span("ESC", opts.costs.host_round_trip_cycles)
         pending = still_pending
+
+    if opts.sanitize:
+        check_stage_boundary(pool, tracker, stage="ESC")
 
     # ---- stage 3: merging ------------------------------------------------
     mcc_meter = CostMeter(config=cfg, constants=opts.costs)
@@ -232,11 +362,19 @@ def ac_spgemm(
         pending_workers = list(workers)
         if not pending_workers:
             return
+        round_index = 0
         while pending_workers:
-            outcomes = engine.merge_round(ectx, stage, pending_workers)
+            run_list, aborted = enter_round(stage, round_index, pending_workers, restarts)
+            round_index += 1
+            outcomes = engine.merge_round(ectx, stage, run_list) if run_list else []
             cycles = [o.cycles for o in outcomes]
+            outcome_of = dict(zip(map(id, run_list), outcomes))
             still = []
-            for w, outcome in zip(pending_workers, outcomes):
+            for w in pending_workers:
+                outcome = outcome_of.get(id(w))
+                if outcome is None:  # aborted before dispatch
+                    still.append(w)
+                    continue
                 counters.merge(outcome.counters)
                 if not outcome.done:
                     still.append(w)
@@ -249,8 +387,11 @@ def ac_spgemm(
             if still:
                 restarts += 1
                 if restarts > opts.max_restarts:
-                    raise RuntimeError(
-                        f"chunk pool restart limit exceeded ({opts.max_restarts})"
+                    raise RestartBudgetExceeded(
+                        f"chunk pool restart limit exceeded ({opts.max_restarts})",
+                        stage=stage,
+                        block_id=_worker_id(still[0]),
+                        restarts=restarts - 1,
                     )
                 pool.grow(
                     max(
@@ -261,6 +402,8 @@ def ac_spgemm(
                 stage_cycles[stage] += opts.costs.host_round_trip_cycles
                 counters.host_round_trips += 1
             pending_workers = still
+        if opts.sanitize:
+            check_stage_boundary(pool, tracker, stage=stage)
 
     multi_blocks = [
         MultiMergeBlock(block_index=i, rows=g)

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..gpu.cost import CostMeter
 from ..gpu.counters import AtomicCounter
+from ..resilience.errors import ReproError
 from ..sparse.csr import CSRMatrix
 
 __all__ = [
@@ -44,9 +45,15 @@ __all__ = [
 CHUNK_HEADER_BYTES = 32
 
 
-class PoolExhausted(MemoryError):
+class PoolExhausted(ReproError, MemoryError):
     """The chunk pool cannot satisfy an allocation; the block must store
-    restart information and wait for a host round trip (§3.2.4)."""
+    restart information and wait for a host round trip (§3.2.4).
+
+    Normally *recoverable*: the driver's restart loop catches the
+    block-level effect, grows the pool and relaunches.  It only reaches
+    callers when recovery is impossible (restart budget spent) or
+    disabled.  Also a :class:`MemoryError` for backwards compatibility.
+    """
 
 
 @dataclass
@@ -128,6 +135,14 @@ class ChunkPool:
     offset: AtomicCounter = field(default_factory=AtomicCounter)
     chunks: list[Chunk] = field(default_factory=list)
     growths: int = 0
+    #: fault-injection gate (``repro.resilience``): called with the
+    #: requested byte count on *every* admission attempt; returning True
+    #: forces the attempt to fail as if the pool were exhausted.  Both
+    #: admission paths — direct allocation here and the optimistic
+    #: engines' serial replay — go through :meth:`admission_ok`, so an
+    #: installed hook observes the identical block-major attempt
+    #: sequence on every engine.
+    fault_hook: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def used_bytes(self) -> int:
@@ -151,16 +166,28 @@ class ChunkPool:
         """
         if nbytes <= 0:
             raise ValueError("chunk allocation must be positive")
-        if self.used_bytes + nbytes > self.capacity_bytes:
+        if not self.admission_ok(nbytes):
             raise PoolExhausted(
                 f"chunk pool exhausted: need {nbytes} B, "
-                f"{self.free_bytes} of {self.capacity_bytes} B free"
+                f"{self.free_bytes} of {self.capacity_bytes} B free",
+                block_id=chunk.order_key[0],
             )
         chunk.pool_offset = self.offset.fetch_add(nbytes)
         chunk.nbytes = nbytes
         meter.atomic(1)
         self.chunks.append(chunk)
         return chunk
+
+    def admission_ok(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would be admitted.
+
+        The single admission chokepoint: consults the fault-injection
+        hook first (one *attempt* is counted whether or not the bytes
+        would fit), then the capacity.  Does not mutate the pool.
+        """
+        if self.fault_hook is not None and self.fault_hook(nbytes):
+            return False
+        return self.used_bytes + nbytes <= self.capacity_bytes
 
     def grow(self, extra_bytes: int) -> None:
         """Add another memory region to the pool (restart path; a full

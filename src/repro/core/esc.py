@@ -23,6 +23,7 @@ import numpy as np
 from ..gpu.block import BlockContext
 from ..gpu.primitives import block_reduce_minmax
 from ..gpu.radix import bits_required, radix_sort_permutation
+from ..resilience.sanitize import check_scratchpad_clean
 from ..sparse.csr import CSRMatrix
 from .chunks import Chunk, ChunkPool, PoolExhausted, RowChunkTracker
 from .compaction import compact_sorted
@@ -142,6 +143,10 @@ class EscBlock:
                 except PoolExhausted:
                     self.chunk_seq -= 1
                     self._cleanup(ctx)
+                    if opts.sanitize:
+                        check_scratchpad_clean(
+                            ctx.scratchpad, stage="ESC", block_id=self.block_id
+                        )
                     self.total_cycles += meter.cycles
                     return EscBlockOutcome(False, meter.cycles, chunks_written)
                 meter.global_write(1, pool.data_bytes(0, 0))
@@ -266,6 +271,10 @@ class EscBlock:
                     # write stays committed; this batch is re-expanded.
                     self.chunk_seq -= 1
                     self._cleanup(ctx, wd)
+                    if opts.sanitize:
+                        check_scratchpad_clean(
+                            ctx.scratchpad, stage="ESC", block_id=self.block_id
+                        )
                     self.total_cycles += meter.cycles
                     return EscBlockOutcome(False, meter.cycles, chunks_written)
                 # compacting round trip through scratchpad, then a
@@ -294,6 +303,10 @@ class EscBlock:
         self.committed = wd.consumed_total
         self.done = True
         self._cleanup(ctx, wd)
+        if opts.sanitize:
+            check_scratchpad_clean(
+                ctx.scratchpad, stage="ESC", block_id=self.block_id
+            )
         self.total_cycles += meter.cycles
         return EscBlockOutcome(True, meter.cycles, chunks_written)
 

@@ -16,10 +16,17 @@ number of rows.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..sparse.csr import CSRMatrix
 from .options import AcSpgemmOptions
 
 __all__ = ["estimate_output_entries", "estimate_chunk_pool_bytes"]
+
+# A row counts as "heavy" once it exceeds this multiple of the average
+# row length; the uniform model underestimates such rows badly (§4's
+# 1.2x meta factor assumes mild "divergences from the average").
+_HEAVY_ROW_FACTOR = 8.0
 
 
 def estimate_output_entries(a: CSRMatrix, b: CSRMatrix) -> float:
@@ -36,13 +43,62 @@ def estimate_output_entries(a: CSRMatrix, b: CSRMatrix) -> float:
     return a.rows * avg_b * (1.0 - (1.0 - p_b) ** avg_a) / p_b
 
 
+def _skew_extra_entries(a: CSRMatrix, b: CSRMatrix) -> float:
+    """Correction for skewed (e.g. RMAT / power-law) row distributions.
+
+    The paper's S models every row of A as having the average length.
+    For heavy rows (> ``_HEAVY_ROW_FACTOR`` x average) that assumption
+    collapses — a row with 100x the average nnz hits far more distinct
+    columns of B than the average row — and the undersized pool forces
+    a restart cascade.  Add, for each heavy row of length ``l``, the
+    difference between its own collision-model expectation
+    ``mB * (1 - (1 - pb)^l)`` and the average-row expectation already
+    counted in S.  Uniform inputs have no heavy rows: the correction is
+    exactly zero and the published estimate is untouched.
+    """
+    if a.rows == 0 or a.nnz == 0 or b.nnz == 0 or b.cols == 0:
+        return 0.0
+    avg_a = a.nnz / a.rows
+    p_b = (b.nnz / b.rows) / b.cols
+    if p_b <= 0.0 or p_b >= 1.0:
+        return 0.0  # degenerate / saturated: S already maximal
+    row_len = np.diff(a.row_ptr)
+    heavy = row_len[row_len > _HEAVY_ROW_FACTOR * max(avg_a, 1.0)]
+    if heavy.size == 0:
+        return 0.0
+    per_avg = b.cols * (1.0 - (1.0 - p_b) ** avg_a)
+    per_heavy = b.cols * (1.0 - (1.0 - p_b) ** heavy.astype(np.float64))
+    return float(np.sum(per_heavy - per_avg))
+
+
+def _longest_row_entries(a: CSRMatrix, b: CSRMatrix) -> float:
+    """Expected output entries of the single longest row of A — the pool
+    must at least accommodate it, or that row can never complete."""
+    if a.rows == 0 or a.nnz == 0 or b.nnz == 0 or b.cols == 0:
+        return 0.0
+    p_b = (b.nnz / b.rows) / b.cols
+    if p_b <= 0.0:
+        return 0.0
+    max_len = int(np.max(np.diff(a.row_ptr)))
+    if p_b >= 1.0:
+        return float(b.cols)
+    return b.cols * (1.0 - (1.0 - p_b) ** max_len)
+
+
 def estimate_chunk_pool_bytes(
     a: CSRMatrix, b: CSRMatrix, options: AcSpgemmOptions
 ) -> int:
     """Initial chunk pool size: S entries (column id + value bytes),
-    scaled by the meta-data factor, with the configured lower bound."""
+    scaled by the meta-data factor, with the configured lower bound.
+
+    S itself is the paper's published formula; on top of it the pool
+    sizing adds a skew correction for heavy rows and clamps from below
+    at the single-longest-row expectation, so RMAT-like inputs do not
+    start with a pool the restart loop must grow many times over.
+    """
     if options.chunk_pool_bytes is not None:
         return options.chunk_pool_bytes
-    entries = estimate_output_entries(a, b)
+    entries = estimate_output_entries(a, b) + _skew_extra_entries(a, b)
+    entries = max(entries, _longest_row_entries(a, b))
     raw = int(entries * options.element_bytes * options.chunk_meta_factor)
     return max(raw, options.chunk_pool_lower_bound_bytes)

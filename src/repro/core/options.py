@@ -15,6 +15,7 @@ import numpy as np
 
 from ..gpu.config import DeviceConfig, TITAN_XP
 from ..gpu.cost import CostConstants, DEFAULT_COSTS
+from ..resilience.faults import FaultPlan
 
 __all__ = ["AcSpgemmOptions", "DEFAULT_OPTIONS"]
 
@@ -91,6 +92,20 @@ class AcSpgemmOptions:
     #: and identical simulated cycles/counters; only host wall-clock
     #: differs (see ``repro.engine``).
     engine: str = "reference"
+    #: check pipeline invariants (pool bookkeeping, chunk linkage, row
+    #: coverage) at every stage boundary; violations raise
+    #: ``SanitizerError`` (see ``repro.resilience.sanitize``)
+    sanitize: bool = False
+    #: ``"raise"`` propagates unrecoverable failures as typed
+    #: ``ReproError``s; ``"fallback"`` degrades to the global-ESC
+    #: baseline with a fresh conservative allocation and records the
+    #: failure on the result (``result.degraded`` / ``result.failure``).
+    #: Input-validation errors always raise — a bad input has no
+    #: correct product to fall back to.
+    on_failure: str = "raise"
+    #: deterministic fault-injection plan (``repro.resilience.faults``);
+    #: activated once per run, identical effects on every engine
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
@@ -113,6 +128,13 @@ class AcSpgemmOptions:
             raise ValueError("pool_growth_factor must exceed 1.0")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
+        if self.on_failure not in ("raise", "fallback"):
+            raise ValueError(
+                f"unknown on_failure policy {self.on_failure!r}; "
+                "expected 'raise' or 'fallback'"
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError("fault_plan must be a FaultPlan or None")
 
     @property
     def effective_long_row_threshold(self) -> int:

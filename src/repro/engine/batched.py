@@ -40,6 +40,7 @@ from ..core.merge import gather_row_segments
 from ..gpu.cost import CostMeter
 from ..gpu.memory import Scratchpad
 from ..gpu.radix import bits_required, fast_stable_sort
+from ..resilience.errors import SanitizerError
 from ..sparse.csr import CSRMatrix
 from .base import EngineContext, RoundOutcome
 from .reference import ReferenceEngine
@@ -214,10 +215,28 @@ def _esc_on_fail(blk, rec: AllocationRecord, cycles: float) -> None:
     blk.total_cycles += cycles
 
 
-def _esc_finish(st: _EscState) -> None:
+#: the full scratchpad layout of one ESC block (allocated at round
+#: entry, held until the state retires — the batched analogue of the
+#: reference's named alloc/free pairs)
+_ESC_SCRATCH_LAYOUT = frozenset(
+    {"A_cols", "A_vals", "A_rows", "WDState", "ESC_keys", "ESC_vals"}
+)
+
+
+def _esc_finish(st: _EscState, sanitize: bool = False) -> None:
     """Block drained: same final state the reference run() sets."""
     st.blk.committed = st.c
     st.blk.done = True
+    if sanitize:
+        names = set(st.scratch.allocations)
+        if names != _ESC_SCRATCH_LAYOUT:
+            raise SanitizerError(
+                f"batched ESC scratchpad layout diverged at retirement: "
+                f"{sorted(names)} != {sorted(_ESC_SCRATCH_LAYOUT)}",
+                stage="ESC",
+                block_id=st.blk.block_id,
+            )
+        st.scratch.reset()
 
 
 
@@ -427,7 +446,7 @@ def _esc_optimistic_batch(
         for st in active:
             st.taken = min(epb - st.carried_rows.shape[0], st.total - st.c)
             if st.taken == 0 and st.carried_rows.shape[0] == 0:
-                _esc_finish(st)  # drained with nothing held locally
+                _esc_finish(st, opts.sanitize)  # drained, nothing held locally
             else:
                 runnable.append(st)
         if not runnable:
@@ -709,7 +728,7 @@ def _esc_optimistic_batch(
                 st.records.append(rec)
                 blk.committed = commit_point
             elif wd_empty and comp_n == 0:
-                _esc_finish(st)
+                _esc_finish(st, opts.sanitize)
                 continue
 
             if keep_n:
@@ -722,7 +741,7 @@ def _esc_optimistic_batch(
                 st.carried_vals = empty_v
 
             if wd_empty and st.carried_rows.shape[0] == 0:
-                _esc_finish(st)
+                _esc_finish(st, opts.sanitize)
             else:
                 next_active.append(st)
         active = next_active

@@ -106,7 +106,10 @@ def replay_and_commit(
         extra_shared = 0  # deferred second-chunk atomics committed so far
         failed: AllocationRecord | None = None
         for rec in run.records:
-            if pool.used_bytes + rec.nbytes > pool.capacity_bytes:
+            # the same admission chokepoint as ChunkPool.allocate — the
+            # fault-injection hook sees one attempt here exactly when the
+            # reference execution would have attempted this allocation
+            if not pool.admission_ok(rec.nbytes):
                 failed = rec
                 break
             rec.chunk.pool_offset = pool.offset.fetch_add(rec.nbytes)

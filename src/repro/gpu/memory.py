@@ -11,13 +11,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..resilience.errors import ReproError
 from .config import DeviceConfig
 
 __all__ = ["ScratchpadOverflow", "Scratchpad", "DeviceAllocationTracker"]
 
 
-class ScratchpadOverflow(MemoryError):
-    """A block requested more scratchpad than the device provides."""
+class ScratchpadOverflow(ReproError, MemoryError):
+    """A block requested more scratchpad than the device provides.
+
+    Unlike pool exhaustion this is not recoverable by growing anything —
+    the on-chip capacity is a hard device property — so it propagates
+    (or triggers the degradation fallback).  Also a :class:`MemoryError`
+    for backwards compatibility.
+    """
 
 
 @dataclass

@@ -14,7 +14,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["KernelTiming", "schedule_blocks"]
+__all__ = ["KernelTiming", "schedule_blocks", "partition_aborted"]
 
 
 @dataclass(frozen=True)
@@ -72,3 +72,23 @@ def schedule_blocks(
         sm_busy_cycles=tuple(busy),
         n_blocks=len(block_cycles),
     )
+
+
+def partition_aborted(
+    workers: Sequence, abort_positions: frozenset[int] | set[int]
+) -> tuple[list, list]:
+    """Split a round's workers into (dispatched, aborted), both in order.
+
+    Models a scheduler-level block abort (fault injection, see
+    ``repro.resilience.faults``): the aborted positions never reach an
+    SM this launch; the driver re-queues them in their original order
+    and the round costs one restart, like a real mid-kernel casualty.
+    Positions past the end of the list are ignored.
+    """
+    if not abort_positions:
+        return list(workers), []
+    dispatched: list = []
+    aborted: list = []
+    for i, w in enumerate(workers):
+        (aborted if i in abort_positions else dispatched).append(w)
+    return dispatched, aborted

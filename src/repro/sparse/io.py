@@ -14,6 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..resilience.errors import ReproError
 from .coo import COOMatrix
 from .csr import CSRMatrix
 
@@ -27,8 +28,8 @@ __all__ = [
 ]
 
 
-class MatrixMarketError(ValueError):
-    """Malformed Matrix Market content."""
+class MatrixMarketError(ReproError, ValueError):
+    """Malformed Matrix Market content (also a :class:`ValueError`)."""
 
 
 _VALID_FORMATS = {"coordinate", "array"}
@@ -54,44 +55,93 @@ def _parse_header(line: str) -> tuple[str, str, str]:
     return fmt, field, symmetry
 
 
-def read_matrix_market(path: str | os.PathLike) -> CSRMatrix:
+def _parse_size(parts: list[str], line: str, n: int) -> tuple[int, ...]:
+    if len(parts) != n:
+        raise MatrixMarketError(f"bad size line: {line!r}")
+    try:
+        dims = tuple(int(x) for x in parts)
+    except ValueError:
+        raise MatrixMarketError(f"non-integer size line: {line!r}") from None
+    if any(d < 0 for d in dims):
+        raise MatrixMarketError(f"negative dimension in size line: {line!r}")
+    return dims
+
+
+def read_matrix_market(path: str | os.PathLike, *, strict: bool = True) -> CSRMatrix:
     """Parse a ``.mtx`` file into canonical CSR.
 
     Symmetric/skew-symmetric storage is expanded to general form
     (off-diagonal entries mirrored; skew mirrors with negated value).
     ``pattern`` entries get value 1.0.
+
+    Truncated files, unparsable bodies, non-integer or out-of-range
+    indices always raise :class:`MatrixMarketError`.  Non-finite values
+    (NaN/inf) are rejected under ``strict`` (the default) and passed
+    through verbatim with ``strict=False``.
     """
     with open(path, "r", encoding="ascii") as fh:
         header = fh.readline()
+        if not header:
+            raise MatrixMarketError(f"empty file: {os.fspath(path)!r}")
         fmt, field, symmetry = _parse_header(header)
         line = fh.readline()
         while line.startswith("%"):
             line = fh.readline()
+        if not line.strip():
+            raise MatrixMarketError("truncated file: missing size line")
         size_parts = line.split()
         if fmt == "coordinate":
-            if len(size_parts) != 3:
-                raise MatrixMarketError(f"bad size line: {line!r}")
-            rows, cols, nnz = (int(x) for x in size_parts)
-            body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+            rows, cols, nnz = _parse_size(size_parts, line, 3)
+            try:
+                body = np.loadtxt(fh, ndmin=2) if nnz else np.zeros((0, 3))
+            except ValueError as exc:
+                raise MatrixMarketError(f"unparsable entry body: {exc}") from None
             if body.shape[0] != nnz:
                 raise MatrixMarketError(
                     f"expected {nnz} entries, found {body.shape[0]}"
                 )
             if nnz == 0:
                 return CSRMatrix.empty(rows, cols)
-            r = body[:, 0].astype(np.int64) - 1
-            c = body[:, 1].astype(np.int64) - 1
+            if body.shape[1] < 2:
+                raise MatrixMarketError("entry lines need row and column indices")
+            rc = body[:, :2]
+            if not np.all(rc == np.floor(rc)):
+                raise MatrixMarketError("non-integer row/column index")
+            r = rc[:, 0].astype(np.int64) - 1
+            c = rc[:, 1].astype(np.int64) - 1
+            if np.any((r < 0) | (r >= rows)) or np.any((c < 0) | (c >= cols)):
+                raise MatrixMarketError(
+                    f"index out of range for {rows}x{cols} matrix "
+                    "(1-based indices must lie in [1, rows] x [1, cols])"
+                )
             if field == "pattern":
                 v = np.ones(nnz, dtype=np.float64)
             else:
                 if body.shape[1] < 3:
                     raise MatrixMarketError("missing value column")
                 v = body[:, 2].astype(np.float64)
+            if strict and not np.all(np.isfinite(v)):
+                bad = int(np.flatnonzero(~np.isfinite(v))[0])
+                raise MatrixMarketError(
+                    f"non-finite value at entry {bad + 1} "
+                    "(pass strict=False to accept NaN/inf)"
+                )
         else:  # array (dense column-major)
-            if len(size_parts) != 2:
-                raise MatrixMarketError(f"bad size line: {line!r}")
-            rows, cols = (int(x) for x in size_parts)
-            data = np.loadtxt(fh)
+            rows, cols = _parse_size(size_parts, line, 2)
+            try:
+                data = np.loadtxt(fh)
+            except ValueError as exc:
+                raise MatrixMarketError(f"unparsable entry body: {exc}") from None
+            if np.asarray(data).size != rows * cols:
+                raise MatrixMarketError(
+                    f"expected {rows * cols} array entries, "
+                    f"found {np.asarray(data).size}"
+                )
+            if strict and not np.all(np.isfinite(data)):
+                raise MatrixMarketError(
+                    "non-finite value in array body "
+                    "(pass strict=False to accept NaN/inf)"
+                )
             dense = np.asarray(data, dtype=np.float64).reshape(cols, rows).T
             if symmetry in ("symmetric", "skew-symmetric"):
                 raise MatrixMarketError(
@@ -144,7 +194,9 @@ def load_binary(path: str | os.PathLike) -> CSRMatrix:
         )
 
 
-def load_matrix(path: str | os.PathLike, *, cache: bool = True) -> CSRMatrix:
+def load_matrix(
+    path: str | os.PathLike, *, cache: bool = True, strict: bool = True
+) -> CSRMatrix:
     """Load ``.mtx`` (building a ``.npz`` cache next to it, like the
     artifact's first-parse conversion) or a previously written ``.npz``."""
     p = Path(path)
@@ -153,7 +205,7 @@ def load_matrix(path: str | os.PathLike, *, cache: bool = True) -> CSRMatrix:
     cache_path = p.with_suffix(".npz")
     if cache and cache_path.exists() and cache_path.stat().st_mtime >= p.stat().st_mtime:
         return load_binary(cache_path)
-    m = read_matrix_market(p)
+    m = read_matrix_market(p, strict=strict)
     if cache:
         save_binary(cache_path, m)
     return m

@@ -9,13 +9,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import ReproError
 from .csr import CSRMatrix
 
 __all__ = ["CSRValidationError", "validate_csr", "is_canonical"]
 
 
-class CSRValidationError(ValueError):
-    """A CSR structural invariant does not hold."""
+class CSRValidationError(ReproError, ValueError):
+    """A CSR structural invariant does not hold.
+
+    Raised on adversarial or malformed inputs before any pipeline work
+    starts; never subject to the degradation fallback (a bad input
+    cannot be "recovered" into a correct product).  Also a
+    :class:`ValueError` for backwards compatibility.
+    """
 
 
 def validate_csr(

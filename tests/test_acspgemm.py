@@ -159,6 +159,8 @@ class TestRestarts:
         assert r_small.matrix.exactly_equal(r_big.matrix)
 
     def test_restart_limit(self, rng):
+        from repro import RestartBudgetExceeded
+
         a = random_csr(rng, 60, 60, 0.15)
         opts = AcSpgemmOptions(
             device=SMALL_DEVICE,
@@ -166,8 +168,12 @@ class TestRestarts:
             pool_growth_factor=1.01,
             max_restarts=1,
         )
-        with pytest.raises(RuntimeError, match="restart limit"):
+        with pytest.raises(RestartBudgetExceeded, match="restart limit") as ei:
             ac_spgemm(a, a, opts)
+        # typed context: stage, first pending block and restart count
+        assert ei.value.stage == "ESC"
+        assert ei.value.block_id is not None
+        assert ei.value.restarts == 1
 
 
 class TestOptionsAblations:

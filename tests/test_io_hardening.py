@@ -1,0 +1,158 @@
+"""Adversarial-input tests for the Matrix Market reader (robustness).
+
+Truncated files, unparsable bodies and out-of-range indices must raise
+a typed :class:`MatrixMarketError` (never an uncaught numpy error or a
+silently wrong matrix); non-finite values are policy — rejected under
+``strict`` (the default), passed through with ``strict=False``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ReproError
+from repro.sparse import load_matrix
+from repro.sparse.io import MatrixMarketError, read_matrix_market
+
+pytestmark = pytest.mark.fault
+
+GOOD = """%%MatrixMarket matrix coordinate real general
+3 4 3
+1 1 1.5
+2 3 -2.0
+3 4 0.25
+"""
+
+
+def _write(tmp_path, text, name="m.mtx"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+def test_good_file_baseline(tmp_path):
+    m = read_matrix_market(_write(tmp_path, GOOD))
+    assert (m.rows, m.cols, m.nnz) == (3, 4, 3)
+
+
+def test_empty_file(tmp_path):
+    with pytest.raises(MatrixMarketError, match="empty file"):
+        read_matrix_market(_write(tmp_path, ""))
+
+
+def test_missing_size_line(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n% comment\n"
+    with pytest.raises(MatrixMarketError, match="missing size line"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_truncated_body(tmp_path):
+    text = GOOD.rsplit("\n", 2)[0] + "\n"  # drop the last entry
+    with pytest.raises(MatrixMarketError, match="expected 3 entries, found 2"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_unparsable_body(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 one 1.0\n"
+    with pytest.raises(MatrixMarketError, match="unparsable entry body"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_non_integer_size_line(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n3 4.5 1\n1 1 1.0\n"
+    with pytest.raises(MatrixMarketError, match="non-integer size line"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_negative_dimension(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n-3 4 1\n1 1 1.0\n"
+    with pytest.raises(MatrixMarketError, match="negative dimension"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+@pytest.mark.parametrize("entry", ["0 1 1.0", "4 1 1.0", "1 0 1.0", "1 5 1.0"])
+def test_index_out_of_range(tmp_path, entry):
+    text = f"%%MatrixMarket matrix coordinate real general\n3 4 1\n{entry}\n"
+    with pytest.raises(MatrixMarketError, match="index out of range"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_non_integer_index(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n3 4 1\n1.5 1 1.0\n"
+    with pytest.raises(MatrixMarketError, match="non-integer row/column"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+@pytest.mark.parametrize("bad", ["nan", "inf", "-inf"])
+def test_nonfinite_rejected_by_default(tmp_path, bad):
+    text = f"%%MatrixMarket matrix coordinate real general\n3 4 1\n1 1 {bad}\n"
+    with pytest.raises(MatrixMarketError, match="non-finite value"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_nonfinite_passes_when_not_strict(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n3 4 2\n1 1 nan\n2 2 inf\n"
+    m = read_matrix_market(_write(tmp_path, text), strict=False)
+    assert np.isnan(m.values).sum() == 1
+    assert np.isinf(m.values).sum() == 1
+
+
+def test_array_body_wrong_count(tmp_path):
+    text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n"
+    with pytest.raises(MatrixMarketError, match="expected 4 array entries"):
+        read_matrix_market(_write(tmp_path, text))
+
+
+def test_array_nonfinite_strict(tmp_path):
+    # inf, not nan: the array path builds via from_dense, whose
+    # |x| > 0 nonzero mask is False for nan (nan entries drop out)
+    text = "%%MatrixMarket matrix array real general\n2 1\n1.0\ninf\n"
+    with pytest.raises(MatrixMarketError, match="non-finite value"):
+        read_matrix_market(_write(tmp_path, text))
+    m = read_matrix_market(_write(tmp_path, text, "m2.mtx"), strict=False)
+    assert np.isinf(m.to_dense()).sum() == 1
+
+
+def test_load_matrix_threads_strict(tmp_path):
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n"
+    p = _write(tmp_path, text)
+    with pytest.raises(MatrixMarketError):
+        load_matrix(p, cache=False)
+    m = load_matrix(p, cache=False, strict=False)
+    assert np.isinf(m.values).any()
+
+
+def test_error_type_is_typed_and_a_valueerror(tmp_path):
+    with pytest.raises(ReproError):
+        read_matrix_market(_write(tmp_path, ""))
+    with pytest.raises(ValueError):
+        read_matrix_market(_write(tmp_path, "", "m2.mtx"))
+
+
+class TestCliDiagnostics:
+    """A typed failure exits the CLI with code 2 and one stderr line."""
+
+    def test_single_on_truncated_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = _write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n",
+        )
+        rc = main(["single", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("repro: MatrixMarketError")
+        assert "Traceback" not in captured.err
+
+    def test_single_on_restart_budget(self, tmp_path, capsys, rng):
+        from repro.cli import main
+        from repro.sparse import write_matrix_market
+        from tests.conftest import random_csr
+
+        p = tmp_path / "dense.mtx"
+        write_matrix_market(p, random_csr(rng, 40, 40, 0.2))
+        # sane file, healthy pipeline: exit 0
+        assert main(["single", str(p)]) == 0
+        capsys.readouterr()

@@ -65,3 +65,69 @@ def test_meta_factor_applied(rng):
     assert estimate_chunk_pool_bytes(a, a, o2) == pytest.approx(
         2 * estimate_chunk_pool_bytes(a, a, o1), rel=0.01
     )
+
+
+# ---------------------------------------------------------------------------
+# skew correction (RMAT-like inputs)
+# ---------------------------------------------------------------------------
+
+
+def _skewed_matrix(rows=400, cols=400, seed=5):
+    """A power-law-ish matrix: a handful of rows own most of the nnz."""
+    from repro.matrices import generators as g
+
+    return g.power_law(rows, 3, seed=seed, exponent=2.2)
+
+
+def test_uniform_estimate_unchanged(rng):
+    """The golden uniform input must see exactly the published formula:
+    no heavy rows, so the skew correction is zero."""
+    a = random_csr(np.random.default_rng(9), 400, 400, 30 / 400)
+    opts = AcSpgemmOptions(chunk_pool_lower_bound_bytes=0)
+    expected = int(
+        estimate_output_entries(a, a)
+        * opts.element_bytes
+        * opts.chunk_meta_factor
+    )
+    assert estimate_chunk_pool_bytes(a, a, opts) == expected
+
+
+def test_skewed_estimate_grows():
+    """Heavy rows push the pool estimate above the published formula."""
+    a = _skewed_matrix()
+    row_len = np.diff(a.row_ptr)
+    assert row_len.max() > 8 * max(a.nnz / a.rows, 1.0)  # genuinely skewed
+    opts = AcSpgemmOptions(chunk_pool_lower_bound_bytes=0)
+    plain = int(
+        estimate_output_entries(a, a)
+        * opts.element_bytes
+        * opts.chunk_meta_factor
+    )
+    assert estimate_chunk_pool_bytes(a, a, opts) > plain
+
+
+def test_skewed_estimate_covers_longest_row():
+    """The pool never starts smaller than the longest row's expectation."""
+    a = _skewed_matrix()
+    opts = AcSpgemmOptions(chunk_pool_lower_bound_bytes=0)
+    p_b = (a.nnz / a.rows) / a.cols
+    max_len = int(np.diff(a.row_ptr).max())
+    longest = a.cols * (1.0 - (1.0 - p_b) ** max_len)
+    assert estimate_chunk_pool_bytes(a, a, opts) >= int(
+        longest * opts.element_bytes * opts.chunk_meta_factor
+    )
+
+
+def test_skewed_input_avoids_restart_cascade():
+    """With the correction, an RMAT-like input runs with few restarts
+    even without the 100 MB lower bound masking the estimate."""
+    from repro import ac_spgemm, spgemm_reference
+    from repro.gpu import SMALL_DEVICE
+
+    a = _skewed_matrix(rows=300, cols=300, seed=7)
+    opts = AcSpgemmOptions(
+        device=SMALL_DEVICE, chunk_pool_lower_bound_bytes=1 << 12
+    )
+    res = ac_spgemm(a, a, opts)
+    assert res.restarts <= 2
+    assert res.matrix.allclose(spgemm_reference(a, a))
