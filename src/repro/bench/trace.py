@@ -139,25 +139,48 @@ class TraceRecorder:
             lines.append(f"  event @ {p.cycle * us:9.2f} us: {p.label} {p.detail}")
         return "\n".join(lines)
 
-    def to_chrome_trace(self, path: str | Path) -> Path:
-        """Write a chrome://tracing / Perfetto compatible JSON file.
+    #: minimum rendered width (us) of a zero-duration kernel, so the
+    #: slice stays clickable in the Perfetto UI
+    MIN_VISIBLE_DUR_US = 1e-3
+
+    def to_events(self, *, pid: int = 1) -> list[dict]:
+        """Chrome-trace / Perfetto event dicts for this timeline.
 
         Cycles are mapped to microseconds on the simulated clock; each
-        pipeline stage gets its own thread row.
+        pipeline stage gets its own thread row.  Zero-duration kernels
+        are widened to :attr:`MIN_VISIBLE_DUR_US` **only up to the gap
+        before the next kernel on the same row** — the old unconditional
+        clamp made back-to-back zero-cycle kernels overlap, which
+        Perfetto renders as a corrupt nested track.  Process and thread
+        ``M``-phase name records are always emitted so every row is
+        labelled.
         """
         us = 1e6 / (self.clock_ghz * 1e9)
         stages = list(dict.fromkeys(k.stage for k in self.kernels))
         tid_of = {s: i + 1 for i, s in enumerate(stages)}
+        # per-row clamp budget: a kernel may widen at most to the start
+        # of the next kernel on its own tid
+        next_start: dict[int, float] = {}
+        budget = [float("inf")] * len(self.kernels)
+        for i in range(len(self.kernels) - 1, -1, -1):
+            k = self.kernels[i]
+            tid = tid_of[k.stage]
+            if tid in next_start:
+                budget[i] = next_start[tid] - k.start_cycle * us
+            next_start[tid] = k.start_cycle * us
         events = []
-        for k in self.kernels:
+        for i, k in enumerate(self.kernels):
+            dur = k.duration * us
+            if dur <= 0.0:
+                dur = max(0.0, min(self.MIN_VISIBLE_DUR_US, budget[i]))
             events.append(
                 {
                     "name": f"{k.stage}#{k.sequence}",
                     "cat": "kernel",
                     "ph": "X",
                     "ts": k.start_cycle * us,
-                    "dur": max(k.duration * us, 1e-3),
-                    "pid": 1,
+                    "dur": dur,
+                    "pid": pid,
                     "tid": tid_of[k.stage],
                     "args": {
                         "blocks": k.n_blocks,
@@ -173,7 +196,7 @@ class TraceRecorder:
                     "cat": "event",
                     "ph": "i",
                     "ts": p.cycle * us,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 0,
                     "s": "g",
                     "args": {"detail": p.detail},
@@ -181,15 +204,35 @@ class TraceRecorder:
             )
         meta = [
             {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "simulated device"},
+            },
+            {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "host events"},
+            },
+        ]
+        meta.extend(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": f"stage {stage}"},
             }
             for stage, tid in tid_of.items()
-        ]
+        )
+        return meta + events
+
+    def to_chrome_trace(self, path: str | Path) -> Path:
+        """Write a chrome://tracing / Perfetto compatible JSON file."""
         out = Path(path)
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps({"traceEvents": meta + events}))
+        out.write_text(json.dumps({"traceEvents": self.to_events()}))
         return out

@@ -101,7 +101,9 @@ def _run_one(
         "chunks": result.n_chunks,
         "shared_rows": result.shared_rows,
         "restarts": result.restarts,
-        "degraded": str(result.degraded) if result.degraded else "",
+        # three-valued: "" = fallback not enabled, "False" = fallback
+        # armed but the run stayed clean, "True" = degraded run
+        "degraded": str(result.degraded) if fallback else "",
         "verified": verified,
     }
 
@@ -179,6 +181,46 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def _load_profile_matrix(spec: str):
+    """Resolve a matrix file path or a ``suite:NAME`` suite entry."""
+    if spec.startswith("suite:"):
+        from .matrices import suite_entries
+
+        name = spec[len("suite:"):]
+        for e in suite_entries():
+            if e.name == name:
+                return name, e.build()
+        raise SystemExit(f"repro profile: unknown suite entry {name!r}")
+    return Path(spec).stem, load_matrix(spec)
+
+
+def cmd_profile(args) -> int:
+    """Instrumented single run: per-stage report, trace and metrics."""
+    from .obs.profile import profile_run
+
+    name, matrix = _load_profile_matrix(args.matrix)
+    a, b = squared_operands(matrix)
+    opts = AcSpgemmOptions(
+        value_dtype=np.float32 if args.float else np.float64,
+        engine=args.engine,
+        sanitize=args.sanitize,
+        on_failure="fallback" if args.fallback else "raise",
+        collect_trace=True,
+    )
+    report = profile_run(a, b, opts, matrix_name=name)
+    print(report.text())
+    if args.trace_out:
+        out = report.write_trace(args.trace_out)
+        print(f"wrote Perfetto trace to {out}")
+    if args.metrics_out:
+        out = report.write_metrics_json(args.metrics_out)
+        print(f"wrote metrics JSON to {out}")
+    if args.prom_out:
+        out = report.write_prometheus(args.prom_out)
+        print(f"wrote Prometheus metrics to {out}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Run the full GPU algorithm line-up on one matrix."""
     matrix = load_matrix(args.matrix)
@@ -239,6 +281,25 @@ def main(argv=None) -> int:
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented single run: stage report, Perfetto trace, metrics",
+    )
+    p.add_argument("matrix",
+                   help="matrix file path, or suite:NAME for a suite entry")
+    p.add_argument("--float", action="store_true", help="single precision")
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"))
+    p.add_argument("--sanitize", action="store_true")
+    p.add_argument("--fallback", action="store_true")
+    p.add_argument("--trace-out", default=None,
+                   help="write a Perfetto/chrome://tracing JSON timeline")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the metrics JSON artifact (bench_compare input)")
+    p.add_argument("--prom-out", default=None,
+                   help="write Prometheus text-format metrics")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
     p.add_argument("matrix")

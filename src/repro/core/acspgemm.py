@@ -39,6 +39,7 @@ from ..gpu.cost import CostMeter
 from ..gpu.counters import TrafficCounters
 from ..gpu.memory import ScratchpadOverflow
 from ..gpu.scheduler import KernelTiming, partition_aborted, schedule_blocks
+from ..obs.span import SpanRecorder
 from ..resilience.errors import ReproError, RestartBudgetExceeded, SanitizerError
 from ..resilience.sanitize import check_stage_boundary
 from ..sparse.csr import CSRMatrix
@@ -104,6 +105,16 @@ class AcSpgemmResult:
     #: per-kernel execution trace (populated when
     #: ``options.collect_trace`` is set — the artifact's Debug mode)
     trace: object | None = None
+    #: root :class:`~repro.obs.span.Span` of the pipeline span tree —
+    #: always recorded; identical across engines for the same input
+    spans: object | None = None
+    #: host-side engine telemetry (blocks stepped, fused launches,
+    #: thread-pool tasks); engine-specific by design, unlike every
+    #: simulated statistic
+    engine_stats: dict = field(default_factory=dict)
+    #: aggregate fraction of SM-cycles busy over the block-level kernel
+    #: launches (1.0 when no block-level kernel ran)
+    sm_utilization: float = 1.0
     #: True when the adaptive pipeline failed and the result was
     #: recomputed by the global-ESC fallback (``on_failure="fallback"``)
     degraded: bool = False
@@ -164,22 +175,37 @@ def ac_spgemm(
         raise ValueError(
             f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
         )
-    if opts.validate_inputs:
-        # sanitizer mode also rejects non-finite values: a NaN/Inf input
-        # poisons every product it touches, which the stage-boundary
-        # checks cannot distinguish from state corruption
-        validate_csr(a, require_finite=opts.sanitize)
-        validate_csr(b, require_finite=opts.sanitize)
+    spans = SpanRecorder(clock_ghz=opts.device.clock_ghz)
+    spans.start(
+        "acspgemm",
+        engine=opts.engine,
+        rows=a.rows,
+        inner=a.cols,
+        cols=b.cols,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+    )
+    with spans.span("setup", validated=opts.validate_inputs):
+        if opts.validate_inputs:
+            # sanitizer mode also rejects non-finite values: a NaN/Inf
+            # input poisons every product it touches, which the
+            # stage-boundary checks cannot distinguish from corruption
+            validate_csr(a, require_finite=opts.sanitize)
+            validate_csr(b, require_finite=opts.sanitize)
     try:
-        return _run_pipeline(a, b, opts)
+        return _run_pipeline(a, b, opts, spans)
     except (PoolExhausted, RestartBudgetExceeded, ScratchpadOverflow, SanitizerError) as exc:
         if opts.on_failure != "fallback":
             raise
-        return _degraded_result(a, b, opts, exc)
+        return _degraded_result(a, b, opts, exc, spans)
 
 
 def _degraded_result(
-    a: CSRMatrix, b: CSRMatrix, opts: AcSpgemmOptions, exc: ReproError
+    a: CSRMatrix,
+    b: CSRMatrix,
+    opts: AcSpgemmOptions,
+    exc: ReproError,
+    spans: SpanRecorder,
 ) -> AcSpgemmResult:
     """Recompute C with the global-ESC baseline after ``exc``.
 
@@ -190,7 +216,9 @@ def _degraded_result(
     """
     from ..resilience.degrade import conservative_pool_bytes, fallback_multiply
 
-    run = fallback_multiply(a, b, opts)
+    spans.abort(reason=exc.one_line())
+    spans.event("degraded", detail=exc.one_line())
+    run = fallback_multiply(a, b, opts, spans=spans)
     stage_cycles = {k: 0.0 for k in STAGE_KEYS}
     stage_cycles["FB"] = run.cycles
     memory = MemoryReport(
@@ -209,6 +237,7 @@ def _degraded_result(
         n_chunks=0,
         n_blocks=0,
         clock_ghz=opts.device.clock_ghz,
+        spans=spans.close(degraded=True),
         degraded=True,
         failure=exc.context(),
     )
@@ -218,6 +247,7 @@ def _run_pipeline(
     a: CSRMatrix,
     b: CSRMatrix,
     opts: AcSpgemmOptions,
+    spans: SpanRecorder,
 ) -> AcSpgemmResult:
     """The four-stage pipeline proper (validated inputs, typed raises)."""
     cfg = opts.device
@@ -226,6 +256,8 @@ def _run_pipeline(
     stage_cycles = {k: 0.0 for k in STAGE_KEYS}
     counters = TrafficCounters()
     min_mp_load = 1.0
+    util_busy = 0.0
+    util_cap = 0.0
     trace = None
     if opts.collect_trace:
         from ..bench.trace import TraceRecorder
@@ -233,9 +265,12 @@ def _run_pipeline(
         trace = TraceRecorder(clock_ghz=cfg.clock_ghz)
 
     def track_timing(timing: KernelTiming) -> None:
-        nonlocal min_mp_load
+        nonlocal min_mp_load, util_busy, util_cap
         if timing.n_blocks >= cfg.num_sms:
             min_mp_load = min(min_mp_load, timing.multiprocessor_load)
+        if timing.n_blocks:  # empty launches are pure overhead, not idle SMs
+            util_busy += timing.total_block_cycles
+            util_cap += len(timing.sm_busy_cycles) * timing.makespan_cycles
 
     # ---- stage 1: global load balancing --------------------------------
     glb_meter = CostMeter(config=cfg, constants=opts.costs)
@@ -245,9 +280,12 @@ def _run_pipeline(
     counters.kernel_launches += 1
     if trace:
         trace.record_span("GLB", stage_cycles["GLB"])
+    spans.leaf("glb", stage_cycles["GLB"], stage="GLB", blocks=glb.n_blocks)
 
     # ---- stage 2: AC-ESC with restart loop ------------------------------
-    pool_bytes = estimate_chunk_pool_bytes(a, b, opts)
+    with spans.span("estimate") as est:
+        pool_bytes = estimate_chunk_pool_bytes(a, b, opts)
+        est.attrs["pool_bytes"] = pool_bytes
     pool = ChunkPool(capacity_bytes=pool_bytes)
     tracker = RowChunkTracker(n_rows=a.rows)
 
@@ -288,74 +326,83 @@ def _run_pipeline(
     pending = list(blocks)
     restarts = 0
     esc_round_index = 0
-    while pending:
-        run_list, aborted = enter_round("ESC", esc_round_index, pending, restarts)
-        esc_round_index += 1
-        outcomes = engine.esc_round(ectx, run_list) if run_list else []
-        round_cycles = [o.cycles for o in outcomes]
-        # re-queue in original block order: aborted blocks keep their
-        # position relative to the blocks whose allocations failed
-        outcome_of = dict(zip(map(id, run_list), outcomes))
-        still_pending: list[EscBlock] = []
-        for blk in pending:
-            outcome = outcome_of.get(id(blk))
-            if outcome is None:  # aborted before dispatch
-                still_pending.append(blk)
-                continue
-            counters.merge(outcome.counters)
-            if not outcome.done:
-                still_pending.append(blk)
-        timing = schedule_blocks(round_cycles, cfg.num_sms, launch_overhead=launch)
-        stage_cycles["ESC"] += timing.makespan_cycles
-        counters.kernel_launches += 1
-        track_timing(timing)
-        if trace:
-            trace.record_kernel("ESC", timing, round_cycles)
-        if still_pending:
-            restarts += 1
-            if restarts > opts.max_restarts:
-                raise RestartBudgetExceeded(
-                    f"chunk pool restart limit exceeded ({opts.max_restarts})",
-                    stage="ESC",
-                    block_id=_worker_id(still_pending[0]),
-                    restarts=restarts - 1,
+    with spans.span("esc", stage="ESC"):
+        while pending:
+            rnd = esc_round_index
+            run_list, aborted = enter_round("ESC", rnd, pending, restarts)
+            esc_round_index += 1
+            if aborted:
+                spans.event(
+                    "blocks_aborted", detail=f"{len(aborted)} blocks in round {rnd}"
                 )
-            growth = max(
-                int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
-                opts.device.elements_per_block * opts.element_bytes,
-            )
-            pool.grow(growth)
-            stage_cycles["ESC"] += opts.costs.host_round_trip_cycles
-            counters.host_round_trips += 1
+            outcomes = engine.esc_round(ectx, run_list) if run_list else []
+            round_cycles = [o.cycles for o in outcomes]
+            # re-queue in original block order: aborted blocks keep their
+            # position relative to the blocks whose allocations failed
+            outcome_of = dict(zip(map(id, run_list), outcomes))
+            still_pending: list[EscBlock] = []
+            for blk in pending:
+                outcome = outcome_of.get(id(blk))
+                if outcome is None:  # aborted before dispatch
+                    still_pending.append(blk)
+                    continue
+                counters.merge(outcome.counters)
+                if not outcome.done:
+                    still_pending.append(blk)
+            timing = schedule_blocks(round_cycles, cfg.num_sms, launch_overhead=launch)
+            stage_cycles["ESC"] += timing.makespan_cycles
+            counters.kernel_launches += 1
+            track_timing(timing)
             if trace:
-                trace.record_point(
+                trace.record_kernel("ESC", timing, round_cycles)
+            spans.leaf(
+                "esc.round",
+                timing.makespan_cycles,
+                stage="ESC",
+                round=rnd,
+                blocks=len(run_list),
+                pending_after=len(still_pending),
+            )
+            if still_pending:
+                restarts += 1
+                if restarts > opts.max_restarts:
+                    raise RestartBudgetExceeded(
+                        f"chunk pool restart limit exceeded ({opts.max_restarts})",
+                        stage="ESC",
+                        block_id=_worker_id(still_pending[0]),
+                        restarts=restarts - 1,
+                    )
+                growth = max(
+                    int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
+                    opts.device.elements_per_block * opts.element_bytes,
+                )
+                pool.grow(growth)
+                stage_cycles["ESC"] += opts.costs.host_round_trip_cycles
+                counters.host_round_trips += 1
+                spans.event(
                     "restart",
                     detail=f"pool grown to {pool.capacity_bytes} B, "
                     f"{len(still_pending)} blocks pending",
                 )
-                trace.record_span("ESC", opts.costs.host_round_trip_cycles)
-        pending = still_pending
+                spans.leaf(
+                    "esc.restart",
+                    opts.costs.host_round_trip_cycles,
+                    stage="ESC",
+                    pool_bytes=pool.capacity_bytes,
+                )
+                if trace:
+                    trace.record_point(
+                        "restart",
+                        detail=f"pool grown to {pool.capacity_bytes} B, "
+                        f"{len(still_pending)} blocks pending",
+                    )
+                    trace.record_span("ESC", opts.costs.host_round_trip_cycles)
+            pending = still_pending
 
     if opts.sanitize:
         check_stage_boundary(pool, tracker, stage="ESC")
 
     # ---- stage 3: merging ------------------------------------------------
-    mcc_meter = CostMeter(config=cfg, constants=opts.costs)
-    assignment = assign_merges(tracker, opts, mcc_meter)
-    stage_cycles["MCC"] = _device_wide_cycles(mcc_meter, cfg.num_sms)
-    if assignment.n_shared_rows:
-        stage_cycles["MCC"] += launch
-        counters.kernel_launches += 1
-    counters.merge(mcc_meter.counters)
-    if trace:
-        trace.record_span("MCC", stage_cycles["MCC"])
-
-    merge_stats = {
-        "multi_merge_blocks": len(assignment.multi_groups),
-        "path_merge_rows": len(assignment.path_rows),
-        "search_merge_rows": len(assignment.search_rows),
-    }
-
     def run_merge_kernel(stage: str, workers) -> None:
         """Launch a merge kernel with its own restart loop."""
         nonlocal restarts
@@ -363,80 +410,133 @@ def _run_pipeline(
         if not pending_workers:
             return
         round_index = 0
-        while pending_workers:
-            run_list, aborted = enter_round(stage, round_index, pending_workers, restarts)
-            round_index += 1
-            outcomes = engine.merge_round(ectx, stage, run_list) if run_list else []
-            cycles = [o.cycles for o in outcomes]
-            outcome_of = dict(zip(map(id, run_list), outcomes))
-            still = []
-            for w in pending_workers:
-                outcome = outcome_of.get(id(w))
-                if outcome is None:  # aborted before dispatch
-                    still.append(w)
-                    continue
-                counters.merge(outcome.counters)
-                if not outcome.done:
-                    still.append(w)
-            timing = schedule_blocks(cycles, cfg.num_sms, launch_overhead=launch)
-            stage_cycles[stage] += timing.makespan_cycles
-            counters.kernel_launches += 1
-            track_timing(timing)
-            if trace:
-                trace.record_kernel(stage, timing, cycles)
-            if still:
-                restarts += 1
-                if restarts > opts.max_restarts:
-                    raise RestartBudgetExceeded(
-                        f"chunk pool restart limit exceeded ({opts.max_restarts})",
-                        stage=stage,
-                        block_id=_worker_id(still[0]),
-                        restarts=restarts - 1,
+        with spans.span(stage.lower(), stage=stage, workers=len(pending_workers)):
+            while pending_workers:
+                rnd = round_index
+                run_list, aborted = enter_round(stage, rnd, pending_workers, restarts)
+                round_index += 1
+                if aborted:
+                    spans.event(
+                        "blocks_aborted",
+                        detail=f"{len(aborted)} blocks in round {rnd}",
                     )
-                pool.grow(
-                    max(
-                        int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
-                        opts.device.elements_per_block * opts.element_bytes,
-                    )
+                outcomes = engine.merge_round(ectx, stage, run_list) if run_list else []
+                cycles = [o.cycles for o in outcomes]
+                outcome_of = dict(zip(map(id, run_list), outcomes))
+                still = []
+                for w in pending_workers:
+                    outcome = outcome_of.get(id(w))
+                    if outcome is None:  # aborted before dispatch
+                        still.append(w)
+                        continue
+                    counters.merge(outcome.counters)
+                    if not outcome.done:
+                        still.append(w)
+                timing = schedule_blocks(cycles, cfg.num_sms, launch_overhead=launch)
+                stage_cycles[stage] += timing.makespan_cycles
+                counters.kernel_launches += 1
+                track_timing(timing)
+                if trace:
+                    trace.record_kernel(stage, timing, cycles)
+                spans.leaf(
+                    f"{stage.lower()}.round",
+                    timing.makespan_cycles,
+                    stage=stage,
+                    round=rnd,
+                    blocks=len(run_list),
+                    pending_after=len(still),
                 )
-                stage_cycles[stage] += opts.costs.host_round_trip_cycles
-                counters.host_round_trips += 1
-            pending_workers = still
+                if still:
+                    restarts += 1
+                    if restarts > opts.max_restarts:
+                        raise RestartBudgetExceeded(
+                            f"chunk pool restart limit exceeded ({opts.max_restarts})",
+                            stage=stage,
+                            block_id=_worker_id(still[0]),
+                            restarts=restarts - 1,
+                        )
+                    pool.grow(
+                        max(
+                            int(pool.capacity_bytes * (opts.pool_growth_factor - 1.0)),
+                            opts.device.elements_per_block * opts.element_bytes,
+                        )
+                    )
+                    stage_cycles[stage] += opts.costs.host_round_trip_cycles
+                    counters.host_round_trips += 1
+                    spans.event(
+                        "restart",
+                        detail=f"pool grown to {pool.capacity_bytes} B, "
+                        f"{len(still)} workers pending",
+                    )
+                    spans.leaf(
+                        f"{stage.lower()}.restart",
+                        opts.costs.host_round_trip_cycles,
+                        stage=stage,
+                        pool_bytes=pool.capacity_bytes,
+                    )
+                pending_workers = still
         if opts.sanitize:
             check_stage_boundary(pool, tracker, stage=stage)
 
-    multi_blocks = [
-        MultiMergeBlock(block_index=i, rows=g)
-        for i, g in enumerate(assignment.multi_groups)
-    ]
-    run_merge_kernel("MM", multi_blocks)
+    with spans.span("merge"):
+        mcc_meter = CostMeter(config=cfg, constants=opts.costs)
+        assignment = assign_merges(tracker, opts, mcc_meter)
+        stage_cycles["MCC"] = _device_wide_cycles(mcc_meter, cfg.num_sms)
+        if assignment.n_shared_rows:
+            stage_cycles["MCC"] += launch
+            counters.kernel_launches += 1
+        counters.merge(mcc_meter.counters)
+        if trace:
+            trace.record_span("MCC", stage_cycles["MCC"])
+        spans.leaf(
+            "mcc",
+            stage_cycles["MCC"],
+            stage="MCC",
+            shared_rows=assignment.n_shared_rows,
+        )
 
-    path_blocks = [
-        PathMergeBlock(block_index=i, row=r)
-        for i, r in enumerate(assignment.path_rows)
-    ]
-    run_merge_kernel("PM", path_blocks)
+        merge_stats = {
+            "multi_merge_blocks": len(assignment.multi_groups),
+            "path_merge_rows": len(assignment.path_rows),
+            "search_merge_rows": len(assignment.search_rows),
+        }
 
-    search_blocks = [
-        SearchMergeBlock(block_index=i, row=r)
-        for i, r in enumerate(assignment.search_rows)
-    ]
-    run_merge_kernel("SM", search_blocks)
+        multi_blocks = [
+            MultiMergeBlock(block_index=i, rows=g)
+            for i, g in enumerate(assignment.multi_groups)
+        ]
+        run_merge_kernel("MM", multi_blocks)
+
+        path_blocks = [
+            PathMergeBlock(block_index=i, row=r)
+            for i, r in enumerate(assignment.path_rows)
+        ]
+        run_merge_kernel("PM", path_blocks)
+
+        search_blocks = [
+            SearchMergeBlock(block_index=i, row=r)
+            for i, r in enumerate(assignment.search_rows)
+        ]
+        run_merge_kernel("SM", search_blocks)
 
     # ---- stage 4: output matrix and chunk copy ---------------------------
-    out_meter = CostMeter(config=cfg, constants=opts.costs)
-    row_ptr = build_row_pointer(tracker, out_meter)
-    c, copy_cycles = engine.copy_output(ectx, row_ptr, out_meter)
-    timing = schedule_blocks(copy_cycles, cfg.num_sms, launch_overhead=launch)
-    stage_cycles["CC"] = (
-        _device_wide_cycles(out_meter, cfg.num_sms) + timing.makespan_cycles
-    )
-    counters.merge(out_meter.counters)
-    counters.kernel_launches += 2  # row-pointer scan + copy
-    track_timing(timing)
-    if trace:
-        trace.record_span("CC", _device_wide_cycles(out_meter, cfg.num_sms))
-        trace.record_kernel("CC", timing, copy_cycles)
+    with spans.span("output"):
+        out_meter = CostMeter(config=cfg, constants=opts.costs)
+        row_ptr = build_row_pointer(tracker, out_meter)
+        c, copy_cycles = engine.copy_output(ectx, row_ptr, out_meter)
+        timing = schedule_blocks(copy_cycles, cfg.num_sms, launch_overhead=launch)
+        scan_cycles = _device_wide_cycles(out_meter, cfg.num_sms)
+        stage_cycles["CC"] = scan_cycles + timing.makespan_cycles
+        counters.merge(out_meter.counters)
+        counters.kernel_launches += 2  # row-pointer scan + copy
+        track_timing(timing)
+        if trace:
+            trace.record_span("CC", scan_cycles)
+            trace.record_kernel("CC", timing, copy_cycles)
+        spans.leaf("output.row_ptr", scan_cycles, stage="CC")
+        spans.leaf(
+            "output.copy", timing.makespan_cycles, stage="CC", blocks=timing.n_blocks
+        )
 
     helper_bytes = (
         glb.helper_bytes
@@ -464,4 +564,7 @@ def _run_pipeline(
         shared_rows=assignment.n_shared_rows,
         merge_stats=merge_stats,
         trace=trace,
+        spans=spans.close(restarts=restarts),
+        engine_stats={k: engine.host_stats[k] for k in sorted(engine.host_stats)},
+        sm_utilization=util_busy / util_cap if util_cap else 1.0,
     )

@@ -51,9 +51,23 @@ class RoundOutcome:
 
 
 class Engine:
-    """Host execution strategy for the block-level stages."""
+    """Host execution strategy for the block-level stages.
+
+    ``host_stats`` is per-instance host-side telemetry (blocks stepped,
+    fused launches, thread-pool tasks...).  Unlike every simulated
+    statistic it is *engine-specific by design* — the observability layer
+    exports it under ``repro_host_ops_total`` and excludes it from the
+    cross-engine parity comparisons.
+    """
 
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.host_stats: dict[str, int] = {}
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump one host-telemetry counter."""
+        self.host_stats[key] = self.host_stats.get(key, 0) + n
 
     def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
         """Run one ESC kernel launch over the pending blocks."""

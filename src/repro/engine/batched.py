@@ -1069,6 +1069,8 @@ class BatchedEngine(ReferenceEngine):
     name = "batched"
 
     def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
+        self.count("fused_esc_launches")
+        self.count("fused_esc_blocks", len(pending))
         runs = _esc_optimistic_batch(ectx, pending)
         return replay_and_commit(
             ectx.pool, ectx.tracker, runs, ectx.options.costs
@@ -1078,6 +1080,8 @@ class BatchedEngine(ReferenceEngine):
         self, ectx: EngineContext, stage: str, workers: list
     ) -> list[RoundOutcome]:
         if stage == "MM":
+            self.count("fused_mm_launches")
+            self.count("fused_mm_groups", len(workers))
             runs = _multi_merge_optimistic_batch(ectx, workers)
             return replay_and_commit(
                 ectx.pool, ectx.tracker, runs, ectx.options.costs
@@ -1091,4 +1095,5 @@ class BatchedEngine(ReferenceEngine):
     def copy_output(
         self, ectx: EngineContext, row_ptr: np.ndarray, counter_sink
     ):
+        self.count("fused_copy_launches")
         return _copy_chunks_batched(ectx, row_ptr, counter_sink)

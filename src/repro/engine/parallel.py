@@ -111,6 +111,7 @@ class ParallelEngine(ReferenceEngine):
     name = "parallel"
 
     def __init__(self, max_workers: int | None = None):
+        super().__init__()
         self._max_workers = max_workers
 
     def _pool_size(self, n_tasks: int) -> int:
@@ -119,6 +120,8 @@ class ParallelEngine(ReferenceEngine):
 
     def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
         opts = ectx.options
+        self.count("pool_esc_rounds")
+        self.count("pool_esc_tasks", len(pending))
 
         def execute(blk):
             records: list[AllocationRecord] = []
@@ -166,6 +169,8 @@ class ParallelEngine(ReferenceEngine):
         if stage != "MM":
             return super().merge_round(ectx, stage, workers)
         opts = ectx.options
+        self.count("pool_mm_rounds")
+        self.count("pool_mm_tasks", len(workers))
 
         def execute(task):
             idx, w = task

@@ -25,6 +25,8 @@ class ReferenceEngine(Engine):
 
     def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
         opts = ectx.options
+        self.count("esc_rounds")
+        self.count("blocks_stepped", len(pending))
         out: list[RoundOutcome] = []
         for blk in pending:
             ctx = BlockContext(
@@ -40,6 +42,8 @@ class ReferenceEngine(Engine):
         self, ectx: EngineContext, stage: str, workers: list
     ) -> list[RoundOutcome]:
         opts = ectx.options
+        self.count("merge_rounds")
+        self.count("merge_workers_stepped", len(workers))
         out: list[RoundOutcome] = []
         for idx, w in enumerate(workers):
             ctx = BlockContext(
@@ -60,6 +64,7 @@ class ReferenceEngine(Engine):
     def copy_output(
         self, ectx: EngineContext, row_ptr: np.ndarray, counter_sink
     ):
+        self.count("copy_launches")
         return copy_chunks(
             ectx.pool, ectx.tracker, row_ptr, ectx.b, ectx.options, counter_sink
         )

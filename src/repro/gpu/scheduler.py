@@ -38,6 +38,15 @@ class KernelTiming:
             return 1.0
         return min(self.sm_busy_cycles) / max(self.sm_busy_cycles)
 
+    @property
+    def utilization(self) -> float:
+        """Fraction of SM-cycles busy during this launch (1.0 when the
+        launch ran no blocks or took zero time)."""
+        capacity = len(self.sm_busy_cycles) * self.makespan_cycles
+        if capacity == 0:
+            return 1.0
+        return self.total_block_cycles / capacity
+
 
 def schedule_blocks(
     block_cycles: Sequence[float], num_sms: int, *, launch_overhead: float = 0.0
@@ -61,9 +70,7 @@ def schedule_blocks(
             finish = available + cycles
             busy[sm] += cycles
             heapq.heappush(heap, (finish, sm))
-        makespan = max(available for available, _ in heap)
-        # `available` of heap entries is each SM's finish time; makespan is
-        # the latest finish.
+        # heap entries hold each SM's finish time; makespan is the latest
         makespan = max(t for t, _ in heap)
     else:
         makespan = 0.0

@@ -1,0 +1,48 @@
+"""Unified observability layer: spans, metrics and profile exports.
+
+Three pieces, all driven by the simulated device clock so every export
+is engine-comparable and byte-deterministic:
+
+* :mod:`repro.obs.span` — the nested host-side span tree the driver
+  records for every run (``acspgemm`` → ``setup`` / ``estimate`` /
+  ``esc`` / ``merge`` / ``output``);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, aggregating
+  traffic counters, per-stage cycles, restart/degradation counts and
+  pool high-water marks into JSON and Prometheus text exports;
+* :mod:`repro.obs.export` / :mod:`repro.obs.profile` — Perfetto JSON
+  emission + validation and the ``repro profile`` workload.
+"""
+
+from .export import (
+    perfetto_payload,
+    span_events,
+    validate_perfetto,
+    validate_perfetto_file,
+    write_perfetto,
+)
+from .metrics import MetricsRegistry
+from .span import Span, SpanEvent, SpanRecorder
+
+
+def __getattr__(name):
+    # lazy: repro.obs.profile imports the driver, which imports
+    # repro.obs.span — importing it eagerly here would be circular
+    if name in ("ProfileReport", "profile_run"):
+        from . import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    "MetricsRegistry",
+    "ProfileReport",
+    "profile_run",
+    "span_events",
+    "perfetto_payload",
+    "write_perfetto",
+    "validate_perfetto",
+    "validate_perfetto_file",
+]

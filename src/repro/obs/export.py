@@ -1,0 +1,183 @@
+"""Perfetto / chrome://tracing export of the unified observability data.
+
+One payload merges two process rows:
+
+* **pid 1 — simulated device**: the per-stage kernel timeline of
+  :class:`~repro.bench.trace.TraceRecorder` (one thread row per stage,
+  instant events on tid 0);
+* **pid 2 — pipeline spans**: the driver's nested host-side span tree
+  (:mod:`repro.obs.span`) as ``X`` events on a single track — Perfetto
+  nests contained slices automatically — plus span events (restarts,
+  aborts, degradation) as instant events.
+
+:func:`validate_perfetto` is the schema check used by the tests and CI:
+it verifies the JSON object model and that ``X`` slices on one
+``(pid, tid)`` row are either disjoint or properly nested — the exact
+property the old zero-duration clamp in ``to_chrome_trace`` violated.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .span import Span
+
+__all__ = [
+    "span_events",
+    "perfetto_payload",
+    "write_perfetto",
+    "validate_perfetto",
+    "validate_perfetto_file",
+]
+
+DEVICE_PID = 1
+SPAN_PID = 2
+_EPS = 1e-9
+
+_META_NAMES = {
+    "process_name",
+    "process_sort_index",
+    "thread_name",
+    "thread_sort_index",
+}
+
+
+def span_events(
+    root: Span, clock_ghz: float, *, pid: int = SPAN_PID, tid: int = 1
+) -> list[dict]:
+    """Chrome-trace events for one span tree (plus name metadata)."""
+    us = 1e6 / (clock_ghz * 1e9)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "pipeline spans"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "host pipeline"},
+        },
+    ]
+    for span in root.walk():
+        end = span.end_cycle if span.end_cycle is not None else span.start_cycle
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start_cycle * us,
+                "dur": (end - span.start_cycle) * us,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: span.attrs[k] for k in sorted(span.attrs)},
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "name": ev.label,
+                    "cat": "span-event",
+                    "ph": "i",
+                    "ts": ev.cycle * us,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {"detail": ev.detail},
+                }
+            )
+    return events
+
+
+def perfetto_payload(
+    *, spans: Span | None = None, trace=None, clock_ghz: float | None = None
+) -> dict:
+    """Combined Perfetto JSON object for spans and/or a kernel trace."""
+    if spans is None and trace is None:
+        raise ValueError("need at least one of spans or trace")
+    events: list[dict] = []
+    if trace is not None:
+        events.extend(trace.to_events(pid=DEVICE_PID))
+        if clock_ghz is None:
+            clock_ghz = trace.clock_ghz
+    if spans is not None:
+        if clock_ghz is None:
+            raise ValueError("clock_ghz is required to export spans alone")
+        events.extend(span_events(spans, clock_ghz))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(path: str | Path, payload: dict) -> Path:
+    """Validate and write a payload; refuses to write a malformed file."""
+    validate_perfetto(payload)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload))
+    return out
+
+
+def _check_row(row_key, slices: list[tuple[float, float, str]]) -> None:
+    """Slices on one track must be disjoint or strictly nested."""
+    stack: list[tuple[float, float, str]] = []
+    for ts, end, name in sorted(slices, key=lambda s: (s[0], -(s[1] - s[0]))):
+        while stack and stack[-1][1] <= ts + _EPS:
+            stack.pop()
+        if stack and end > stack[-1][1] + _EPS:
+            raise ValueError(
+                f"overlapping slices on row {row_key}: {name!r} "
+                f"[{ts}, {end}] crosses {stack[-1][2]!r} end {stack[-1][1]}"
+            )
+        stack.append((ts, end, name))
+
+
+def validate_perfetto(payload) -> None:
+    """Schema-check a Perfetto JSON object; raises ``ValueError``.
+
+    Checks the object model (``traceEvents`` list, required fields per
+    phase) and per-row slice consistency (no partial overlaps).
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("payload must be an object with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    rows: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for req in ("name", "ph", "pid", "tid"):
+            if req not in ev:
+                raise ValueError(f"event {i} is missing {req!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev["name"] not in _META_NAMES:
+                raise ValueError(f"unknown metadata record {ev['name']!r}")
+            if "name" not in ev.get("args", {}) and "sort_index" not in ev.get(
+                "args", {}
+            ):
+                raise ValueError(f"metadata event {i} carries no payload")
+            continue
+        if ph not in ("X", "i", "I", "B", "E"):
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {i} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} has invalid dur {dur!r}")
+            rows.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ts), float(ts) + float(dur), str(ev["name"]))
+            )
+    for row_key, slices in rows.items():
+        _check_row(row_key, slices)
+
+
+def validate_perfetto_file(path: str | Path) -> None:
+    """Load a JSON file and :func:`validate_perfetto` it."""
+    validate_perfetto(json.loads(Path(path).read_text()))

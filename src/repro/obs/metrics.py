@@ -1,0 +1,274 @@
+"""Metrics aggregation over one or many AC-SpGEMM runs.
+
+The :class:`MetricsRegistry` unifies every quantity the evaluation
+section measures — :class:`~repro.gpu.counters.TrafficCounters`
+snapshots, per-stage simulated cycles (Fig. 7), restart and degradation
+counts (Table 3), chunk-pool high-water marks (Fig. 8) and span cycle
+sums — behind one deterministic store that exports both JSON and
+Prometheus text format.
+
+Counters accumulate across :meth:`record_result` calls; high-water
+gauges take the maximum (``*_high_water``) or minimum (``*_min``) seen,
+so a registry can aggregate a whole benchmark campaign.  All exports
+are byte-deterministic for a fixed sequence of recorded runs: families
+and samples are emitted in sorted order and floats rendered with
+``repr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.counters import COUNTER_DOC
+
+__all__ = ["MetricsRegistry"]
+
+_KIND_COUNTER = "counter"
+_KIND_GAUGE = "gauge"
+
+
+def _render_value(value) -> str:
+    """Deterministic number rendering (ints stay integral)."""
+    if isinstance(value, bool):  # bools are ints; refuse silently odd output
+        raise TypeError("metric values must be numbers, not bool")
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def sample_key(name: str, labels: dict) -> str:
+    """Canonical sample identity, identical to the Prometheus line head.
+
+    ``repro_stage_cycles_total{stage="ESC"}`` — labels sorted by key.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{_escape_label(labels[k])}"' for k in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class _Family:
+    """One metric family: a kind, a help string and labelled samples."""
+
+    name: str
+    kind: str
+    help: str = ""
+    samples: dict[str, float] = field(default_factory=dict)
+    labels_of: dict[str, dict] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Deterministic counter/gauge store with JSON and Prometheus export.
+
+    ``const_labels`` are merged into every sample — the profile CLI uses
+    this to label everything with the engine that produced it.
+    """
+
+    def __init__(self, const_labels: dict | None = None) -> None:
+        self._families: dict[str, _Family] = {}
+        self.const_labels = dict(const_labels or {})
+
+    # -- primitive updates -------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name=name, kind=kind, help=help)
+            self._families[name] = fam
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}"
+            )
+        if help and not fam.help:
+            fam.help = help
+        return fam
+
+    def _sample(self, fam: _Family, labels: dict) -> str:
+        merged = {**self.const_labels, **labels}
+        key = sample_key(fam.name, merged)
+        fam.labels_of.setdefault(key, merged)
+        return key
+
+    def inc(self, name: str, value=1, help: str = "", **labels) -> None:
+        """Add ``value`` to a monotonic counter sample."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot decrease")
+        fam = self._family(name, _KIND_COUNTER, help)
+        key = self._sample(fam, labels)
+        fam.samples[key] = fam.samples.get(key, 0) + value
+
+    def set_max(self, name: str, value, help: str = "", **labels) -> None:
+        """High-water gauge: keep the maximum value observed."""
+        fam = self._family(name, _KIND_GAUGE, help)
+        key = self._sample(fam, labels)
+        if key not in fam.samples or value > fam.samples[key]:
+            fam.samples[key] = value
+
+    def set_min(self, name: str, value, help: str = "", **labels) -> None:
+        """Low-water gauge: keep the minimum value observed."""
+        fam = self._family(name, _KIND_GAUGE, help)
+        key = self._sample(fam, labels)
+        if key not in fam.samples or value < fam.samples[key]:
+            fam.samples[key] = value
+
+    def set(self, name: str, value, help: str = "", **labels) -> None:
+        """Plain gauge: last write wins."""
+        fam = self._family(name, _KIND_GAUGE, help)
+        fam.samples[self._sample(fam, labels)] = value
+
+    def value(self, name: str, **labels):
+        """Read one sample (raises ``KeyError`` when absent)."""
+        fam = self._families[name]
+        return fam.samples[sample_key(name, {**self.const_labels, **labels})]
+
+    # -- aggregation of pipeline results ------------------------------
+
+    def record_result(self, result) -> None:
+        """Fold one :class:`~repro.core.acspgemm.AcSpgemmResult` in."""
+        for cname, cval in sorted(result.counters.snapshot().items()):
+            self.inc(
+                "repro_traffic_total",
+                cval,
+                help="Raw simulated-device operation counts.",
+                counter=cname,
+            )
+        for stage, cycles in result.stage_cycles.items():
+            self.inc(
+                "repro_stage_cycles_total",
+                cycles,
+                help="Simulated cycles per pipeline stage (Fig. 7).",
+                stage=stage,
+            )
+        self.inc("repro_runs_total", 1, help="Multiplications recorded.")
+        self.inc(
+            "repro_restarts_total",
+            result.restarts,
+            help="Chunk-pool restart round trips (Table 3).",
+        )
+        self.inc(
+            "repro_degraded_runs_total",
+            1 if result.degraded else 0,
+            help="Runs recomputed by the global-ESC fallback.",
+        )
+        if result.failure:
+            self.inc(
+                "repro_failures_total",
+                1,
+                help="Unrecoverable pipeline failures by error kind.",
+                kind=str(result.failure.get("kind", "unknown")),
+            )
+        mem = result.memory
+        self.set_max(
+            "repro_chunk_pool_capacity_bytes_high_water",
+            mem.chunk_pool_bytes,
+            help="Largest chunk-pool allocation seen (Fig. 8).",
+        )
+        self.set_max(
+            "repro_chunk_pool_used_bytes_high_water",
+            mem.chunk_used_bytes,
+            help="Largest chunk-pool usage seen (Table 3).",
+        )
+        self.set_max(
+            "repro_helper_bytes_high_water",
+            mem.helper_bytes,
+            help="Largest helper-structure allocation seen.",
+        )
+        self.set(
+            "repro_output_bytes", mem.output_bytes,
+            help="Output matrix bytes of the last run.",
+        )
+        self.set(
+            "repro_output_nnz", result.matrix.nnz,
+            help="Output non-zeros of the last run.",
+        )
+        self.set_max(
+            "repro_chunks_high_water", result.n_chunks,
+            help="Most chunks allocated by one run.",
+        )
+        self.set_max(
+            "repro_blocks_high_water", result.n_blocks,
+            help="Most ESC blocks launched by one run.",
+        )
+        self.set_min(
+            "repro_multiprocessor_load_min",
+            result.multiprocessor_load,
+            help="Worst per-kernel multiprocessor load (Table 3 mpL).",
+        )
+        self.set_min(
+            "repro_sm_utilization_min",
+            result.sm_utilization,
+            help="Worst-case fraction of SM-cycles busy over the "
+            "block-level kernel launches.",
+        )
+        if result.spans is not None:
+            for name in sorted({s.name for s in result.spans.walk()}):
+                self.inc(
+                    "repro_span_cycles_total",
+                    result.spans.cycle_sum(name),
+                    help="Total simulated cycles per span name.",
+                    span=name,
+                )
+                self.inc(
+                    "repro_spans_total",
+                    sum(1 for s in result.spans.walk() if s.name == name),
+                    help="Spans recorded per span name.",
+                    span=name,
+                )
+        for op, count in sorted(result.engine_stats.items()):
+            self.inc(
+                "repro_host_ops_total",
+                count,
+                help="Host-side engine telemetry (engine-specific; "
+                "excluded from cross-engine parity).",
+                op=op,
+            )
+
+    @classmethod
+    def from_result(cls, result, **const_labels) -> "MetricsRegistry":
+        """Registry holding exactly one run's metrics."""
+        reg = cls(const_labels=const_labels or None)
+        reg.record_result(result)
+        return reg
+
+    @staticmethod
+    def counter_doc(counter_name: str) -> str:
+        """Help text for one raw traffic counter."""
+        return COUNTER_DOC.get(counter_name, "")
+
+    # -- export --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Flat deterministic document: sample key -> value, plus meta."""
+        metrics: dict = {}
+        meta: dict = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            meta[name] = {"type": fam.kind, "help": fam.help}
+            for key in sorted(fam.samples):
+                metrics[key] = fam.samples[key]
+        return {"metrics": metrics, "meta": meta}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4), sorted and stable."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            fam = self._families[name]
+            if fam.help:
+                lines.append(f"# HELP {name} {fam.help}")
+            lines.append(f"# TYPE {name} {fam.kind}")
+            for key in sorted(fam.samples):
+                lines.append(f"{key} {_render_value(fam.samples[key])}")
+        return "\n".join(lines) + "\n"

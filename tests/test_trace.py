@@ -62,6 +62,50 @@ class TestChromeExport:
         complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
         assert complete and all("dur" in e for e in complete)
 
+    def test_zero_duration_clamp_never_overlaps(self):
+        """Back-to-back zero-cycle kernels on one stage row must not
+        overlap after the minimum-visible-duration widening (the old
+        unconditional ``max(dur, 1e-3)`` clamp produced corrupt nested
+        slices)."""
+        from repro.obs import validate_perfetto
+
+        t = TraceRecorder()
+        t.record_span("ESC", 0.0)
+        t.record_span("ESC", 0.0)
+        t.record_span("ESC", 10.0)
+        events = t.to_events()
+        validate_perfetto({"traceEvents": events})
+        xs = sorted(
+            (e for e in events if e["ph"] == "X"), key=lambda e: e["ts"]
+        )
+        for prev, nxt in zip(xs, xs[1:]):
+            assert prev["ts"] + prev["dur"] <= nxt["ts"] + 1e-12
+
+    def test_zero_duration_widened_when_room(self):
+        t = TraceRecorder()
+        t.record_span("ESC", 0.0)
+        t.record_span("GLB", 1e6)  # advances the clock between ESC slices
+        t.record_span("ESC", 5.0)
+        first = [e for e in t.to_events() if e["ph"] == "X"][0]
+        assert first["name"] == "ESC#0"
+        assert first["dur"] == TraceRecorder.MIN_VISIBLE_DUR_US
+
+    def test_thread_and_process_metadata(self):
+        t = TraceRecorder()
+        t.record_span("GLB", 5.0)
+        t.record_span("ESC", 5.0)
+        t.record_point("restart")
+        events = t.to_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        by_name = {(e["name"], e["tid"]): e["args"]["name"] for e in meta}
+        assert by_name[("process_name", 0)] == "simulated device"
+        assert by_name[("thread_name", 0)] == "host events"
+        assert by_name[("thread_name", 1)] == "stage GLB"
+        assert by_name[("thread_name", 2)] == "stage ESC"
+        # every X/i event lands on a named row
+        named_tids = {tid for (name, tid) in by_name if name == "thread_name"}
+        assert {e["tid"] for e in events if e["ph"] != "M"} <= named_tids
+
 
 class TestPipelineIntegration:
     def test_trace_attached_and_consistent(self, rng):
