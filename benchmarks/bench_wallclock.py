@@ -7,6 +7,13 @@ identical simulated statistics, and reports the host-side speedups.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out BENCH_pr1.json]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --trace-overhead [--out BENCH_pr4.json]
+
+``--trace-overhead`` switches the quantity of interest from engine
+speedup to the host cost of the opt-in device trace: every engine runs
+each case with ``device_trace`` off and on, and the payload gates the
+on/off ratio at the 10% budget (plus byte-identity of the trace across
+engines).
 
 Unlike the figure benches this is a plain script (no pytest-benchmark):
 the quantity of interest is host seconds, measured directly.
@@ -20,7 +27,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.wallclock import run_wallclock, write_payload  # noqa: E402
+from repro.bench.wallclock import (  # noqa: E402
+    run_trace_overhead,
+    run_wallclock,
+    write_payload,
+)
 
 
 def main(argv=None) -> int:
@@ -30,16 +41,49 @@ def main(argv=None) -> int:
         help="small matrices, single repeat (CI)",
     )
     parser.add_argument(
-        "--out", default="BENCH_pr1.json", help="JSON output path"
+        "--out", default=None, help="JSON output path"
     )
     parser.add_argument(
         "--repeats", type=int, default=None,
         help="timing repeats per engine (best-of); default 3, 1 for smoke",
     )
+    parser.add_argument(
+        "--trace-overhead", action="store_true",
+        help="measure device-trace host overhead instead of engine speedup",
+    )
     args = parser.parse_args(argv)
 
+    if args.trace_overhead:
+        payload = run_trace_overhead(smoke=args.smoke, repeats=args.repeats)
+        path = write_payload(payload, args.out or "BENCH_pr4.json")
+        print(f"device-trace overhead bench ({payload['mode']}):")
+        for row in payload["cases"]:
+            line = f"  {row['case']:24s}"
+            for eng in payload["engines"]:
+                line += (
+                    f" | {eng} {row['seconds_off'][eng] * 1e3:7.1f}"
+                    f"->{row['seconds_on'][eng] * 1e3:7.1f} ms"
+                    f" ({100.0 * row['overhead'][eng]:+5.1f}%)"
+                )
+            if not row["trace_identical_across_engines"]:
+                line += "  TRACE MISMATCH!"
+            print(line)
+        print(
+            f"total overhead {100.0 * payload['total_overhead']:+.1f}% "
+            f"(worst cell {100.0 * payload['max_overhead']:+.1f}%, "
+            f"budget {100.0 * payload['overhead_budget']:.0f}%)"
+        )
+        print(f"wrote {path}")
+        if not payload["all_traces_identical"]:
+            print("ERROR: device traces differ across engines", file=sys.stderr)
+            return 1
+        if not payload["within_budget"]:
+            print("ERROR: device-trace overhead over budget", file=sys.stderr)
+            return 1
+        return 0
+
     payload = run_wallclock(smoke=args.smoke, repeats=args.repeats)
-    path = write_payload(payload, args.out)
+    path = write_payload(payload, args.out or "BENCH_pr1.json")
 
     print(f"engine wall-clock bench ({payload['mode']}):")
     for row in payload["cases"]:

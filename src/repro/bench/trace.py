@@ -37,6 +37,13 @@ class KernelEvent:
     max_block_cycles: float
     mean_block_cycles: float
     multiprocessor_load: float
+    #: chunk-pool occupancy after this kernel (0/0 before the pool
+    #: exists or when the caller does not track it)
+    pool_used_bytes: int = 0
+    pool_capacity_bytes: int = 0
+    #: cumulative global-memory traffic of the run at this kernel's end
+    global_bytes_read: int = 0
+    global_bytes_written: int = 0
 
     @property
     def duration(self) -> float:
@@ -68,9 +75,16 @@ class TraceRecorder:
         return self._clock
 
     def record_kernel(
-        self, stage: str, timing: KernelTiming, block_cycles=None
+        self, stage: str, timing: KernelTiming, block_cycles=None, *,
+        pool=None, counters=None,
     ) -> None:
-        """Append one kernel launch and advance the device clock."""
+        """Append one kernel launch and advance the device clock.
+
+        ``pool`` and ``counters`` (the driver's running chunk pool and
+        :class:`~repro.gpu.counters.TrafficCounters`) are sampled at
+        record time so the Perfetto export can render pool-occupancy and
+        global-traffic counter tracks.
+        """
         blocks = np.asarray(
             block_cycles if block_cycles is not None else [], dtype=np.float64
         )
@@ -85,17 +99,31 @@ class TraceRecorder:
                 max_block_cycles=float(blocks.max()) if blocks.size else 0.0,
                 mean_block_cycles=float(blocks.mean()) if blocks.size else 0.0,
                 multiprocessor_load=timing.multiprocessor_load,
+                pool_used_bytes=pool.used_bytes if pool is not None else 0,
+                pool_capacity_bytes=(
+                    pool.capacity_bytes if pool is not None else 0
+                ),
+                global_bytes_read=(
+                    counters.global_bytes_read if counters is not None else 0
+                ),
+                global_bytes_written=(
+                    counters.global_bytes_written if counters is not None else 0
+                ),
             )
         )
         self._clock += timing.makespan_cycles
 
-    def record_span(self, stage: str, cycles: float) -> None:
+    def record_span(
+        self, stage: str, cycles: float, *, pool=None, counters=None
+    ) -> None:
         """A device-wide pass without per-block structure."""
         self.record_kernel(
             stage,
             KernelTiming(
                 makespan_cycles=cycles, sm_busy_cycles=(), n_blocks=0
             ),
+            pool=pool,
+            counters=counters,
         )
 
     def record_point(self, label: str, detail: str = "") -> None:
@@ -189,6 +217,39 @@ class TraceRecorder:
                     },
                 }
             )
+        # counter tracks: chunk-pool occupancy and cumulative global
+        # traffic, one sample at each kernel's end (Perfetto steps the
+        # value until the next sample)
+        for k in self.kernels:
+            if k.pool_capacity_bytes:
+                events.append(
+                    {
+                        "name": "chunk pool occupancy",
+                        "ph": "C",
+                        "ts": k.end_cycle * us,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {
+                            "used_bytes": k.pool_used_bytes,
+                            "free_bytes": k.pool_capacity_bytes
+                            - k.pool_used_bytes,
+                        },
+                    }
+                )
+            if k.global_bytes_read or k.global_bytes_written:
+                events.append(
+                    {
+                        "name": "global traffic (cumulative)",
+                        "ph": "C",
+                        "ts": k.end_cycle * us,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {
+                            "bytes_read": k.global_bytes_read,
+                            "bytes_written": k.global_bytes_written,
+                        },
+                    }
+                )
         for p in self.points:
             events.append(
                 {

@@ -32,7 +32,12 @@ from ..matrices.generators import (
 )
 from ..sparse.stats import squared_operands
 
-__all__ = ["WallclockCase", "wallclock_cases", "run_wallclock"]
+__all__ = [
+    "WallclockCase",
+    "wallclock_cases",
+    "run_wallclock",
+    "run_trace_overhead",
+]
 
 DEFAULT_ENGINES = ("reference", "batched", "parallel")
 
@@ -200,6 +205,114 @@ def run_wallclock(
             ok for r in rows for ok in r["identical"].values()
         ),
         "geomean_speedup": geomean,
+    }
+
+
+#: Host-overhead budget for the opt-in device trace (fraction of the
+#: untraced run).  The trace is record-keeping only — no extra passes —
+#: so anything past this points at an accidental hot-path allocation.
+TRACE_OVERHEAD_BUDGET = 0.10
+
+
+def run_trace_overhead(
+    smoke: bool = False,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    repeats: int | None = None,
+) -> dict:
+    """Host cost of ``device_trace=True``, per engine and case.
+
+    Times every engine twice per case — trace off and trace on —
+    interleaved like :func:`run_wallclock` so host noise hits both
+    variants alike.  Also asserts the two contracts the trace makes:
+    the traced run's result signature matches the untraced run exactly
+    (tracing observes, never perturbs), and the trace bytes are
+    identical across engines.  Per-cell ``overhead`` (``on/off - 1``)
+    is informational — single cells of tens of ms swing ±10% on a
+    shared host even best-of-5.  The gated quantity is
+    ``total_overhead``: summed traced over summed untraced seconds
+    across every case and engine, which averages the noise and weights
+    the larger (more trustworthy) cases; ``within_budget`` holds it to
+    :data:`TRACE_OVERHEAD_BUDGET`.  When the trace is *disabled* the
+    driver never constructs a :class:`~repro.obs.device.DeviceTrace`,
+    so the off-variant here *is* the disabled cost — there is no third
+    state to measure.
+    """
+    # best-of needs warm runs even in smoke mode: a single repeat times
+    # the cold first pass and reports pure noise, and the smoke cases
+    # are so small (tens of ms) that only a deeper best-of converges
+    if repeats is None:
+        repeats = 5 if smoke else 3
+    engines = tuple(dict.fromkeys(("reference",) + tuple(engines)))
+    tuned = tune_allocator()
+    cases = wallclock_cases(smoke)
+    rows = []
+    max_overhead = 0.0
+    for case in cases:
+        opts_off = {
+            e: AcSpgemmOptions(value_dtype=np.dtype(case.dtype), engine=e)
+            for e in engines
+        }
+        opts_on = {
+            e: AcSpgemmOptions(
+                value_dtype=np.dtype(case.dtype), engine=e, device_trace=True
+            )
+            for e in engines
+        }
+        best_off = {e: math.inf for e in engines}
+        best_on = {e: math.inf for e in engines}
+        sigs_off: dict[str, dict] = {}
+        traces: dict[str, str] = {}
+        for _ in range(repeats):
+            for engine in engines:
+                t0 = time.perf_counter()
+                r_off = ac_spgemm(case.a, case.b, opts_off[engine])
+                best_off[engine] = min(
+                    best_off[engine], time.perf_counter() - t0
+                )
+                t0 = time.perf_counter()
+                r_on = ac_spgemm(case.a, case.b, opts_on[engine])
+                best_on[engine] = min(best_on[engine], time.perf_counter() - t0)
+                sigs_off[engine] = _signature(r_off)
+                if _signature(r_on) != sigs_off[engine]:
+                    raise AssertionError(
+                        f"{case.name}/{engine}: tracing changed the result"
+                    )
+                traces[engine] = r_on.device_trace.to_json()
+        trace_identical = len(set(traces.values())) == 1
+        overhead = {
+            e: (best_on[e] / best_off[e] - 1.0) if best_off[e] else 0.0
+            for e in engines
+        }
+        max_overhead = max(max_overhead, *overhead.values())
+        rows.append(
+            {
+                "case": case.name,
+                "dtype": case.dtype,
+                "nnz_a": int(case.a.nnz),
+                "trace_bytes": len(traces[engines[0]]),
+                "seconds_off": best_off,
+                "seconds_on": best_on,
+                "overhead": overhead,
+                "trace_identical_across_engines": trace_identical,
+            }
+        )
+    sum_off = sum(s for r in rows for s in r["seconds_off"].values())
+    sum_on = sum(s for r in rows for s in r["seconds_on"].values())
+    total_overhead = (sum_on / sum_off - 1.0) if sum_off else 0.0
+    return {
+        "bench": "device-trace-overhead",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "allocator_tuned": tuned,
+        "engines": list(engines),
+        "overhead_budget": TRACE_OVERHEAD_BUDGET,
+        "cases": rows,
+        "max_overhead": max_overhead,
+        "total_overhead": total_overhead,
+        "within_budget": total_overhead <= TRACE_OVERHEAD_BUDGET,
+        "all_traces_identical": all(
+            r["trace_identical_across_engines"] for r in rows
+        ),
     }
 
 

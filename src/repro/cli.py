@@ -221,6 +221,50 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Device-trace analysis: paper-figure reports from one traced run."""
+    from .obs.analyze import analyze_result
+    from .obs.export import perfetto_payload, write_perfetto
+
+    name, matrix = _load_profile_matrix(args.matrix)
+    a, b = squared_operands(matrix)
+    opts = AcSpgemmOptions(
+        value_dtype=np.float32 if args.float else np.float64,
+        engine=args.engine,
+        sanitize=args.sanitize,
+        on_failure="fallback" if args.fallback else "raise",
+        device_trace=True,
+    )
+    result = ac_spgemm(a, b, opts)
+    report = analyze_result(result, opts, matrix_name=name)
+    print(report.text())
+    if args.json_out:
+        out = report.write_json(args.json_out)
+        print(f"wrote analysis JSON to {out}")
+    if args.metrics_out:
+        out = report.write_metrics(args.metrics_out)
+        print(f"wrote gate metrics to {out}")
+    if args.html_out:
+        out = report.write_html(args.html_out)
+        print(f"wrote HTML report to {out}")
+    if args.trace_out:
+        out = Path(args.trace_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(result.device_trace.to_json())
+        print(f"wrote device trace to {out}")
+    if args.perfetto_out:
+        out = write_perfetto(
+            args.perfetto_out,
+            perfetto_payload(
+                spans=result.spans,
+                device=result.device_trace,
+                clock_ghz=result.clock_ghz,
+            ),
+        )
+        print(f"wrote Perfetto timeline to {out}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Run the full GPU algorithm line-up on one matrix."""
     matrix = load_matrix(args.matrix)
@@ -300,6 +344,31 @@ def main(argv=None) -> int:
     p.add_argument("--prom-out", default=None,
                    help="write Prometheus text-format metrics")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "analyze",
+        help="device-trace analysis: per-SM timelines, paper-figure reports",
+    )
+    p.add_argument("matrix",
+                   help="matrix file path, or suite:NAME for a suite entry")
+    p.add_argument("--float", action="store_true", help="single precision")
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"))
+    p.add_argument("--sanitize", action="store_true")
+    p.add_argument("--fallback", action="store_true",
+                   help="degrade on failure (trace gets a truncation marker)")
+    p.add_argument("--json-out", default=None,
+                   help="write the full analysis report JSON")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the flat gate metrics (bench_compare input)")
+    p.add_argument("--html-out", default=None,
+                   help="write the self-contained HTML report")
+    p.add_argument("--trace-out", default=None,
+                   help="write the raw device trace JSON (byte-identical "
+                        "across engines)")
+    p.add_argument("--perfetto-out", default=None,
+                   help="write a Perfetto timeline with per-SM tracks")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
     p.add_argument("matrix")

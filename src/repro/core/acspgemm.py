@@ -39,6 +39,7 @@ from ..gpu.cost import CostMeter
 from ..gpu.counters import TrafficCounters
 from ..gpu.memory import ScratchpadOverflow
 from ..gpu.scheduler import KernelTiming, partition_aborted, schedule_blocks
+from ..obs.device import BlockMeta, DeviceTrace
 from ..obs.span import SpanRecorder
 from ..resilience.errors import ReproError, RestartBudgetExceeded, SanitizerError
 from ..resilience.sanitize import check_stage_boundary
@@ -121,6 +122,11 @@ class AcSpgemmResult:
     #: the failure that triggered degradation, as
     #: ``ReproError.context()`` (kind/stage/block_id/restarts/message)
     failure: dict | None = None
+    #: device-level trace (populated when ``options.device_trace`` is
+    #: set): per-block SM timelines and counter attribution, see
+    #: :class:`~repro.obs.device.DeviceTrace`.  Byte-identical across
+    #: engines; carries a truncation marker on degraded runs
+    device_trace: object | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -192,12 +198,17 @@ def ac_spgemm(
             # stage-boundary checks cannot distinguish from corruption
             validate_csr(a, require_finite=opts.sanitize)
             validate_csr(b, require_finite=opts.sanitize)
+    dtrace = (
+        DeviceTrace(clock_ghz=opts.device.clock_ghz, num_sms=opts.device.num_sms)
+        if opts.device_trace
+        else None
+    )
     try:
-        return _run_pipeline(a, b, opts, spans)
+        return _run_pipeline(a, b, opts, spans, dtrace)
     except (PoolExhausted, RestartBudgetExceeded, ScratchpadOverflow, SanitizerError) as exc:
         if opts.on_failure != "fallback":
             raise
-        return _degraded_result(a, b, opts, exc, spans)
+        return _degraded_result(a, b, opts, exc, spans, dtrace)
 
 
 def _degraded_result(
@@ -206,6 +217,7 @@ def _degraded_result(
     opts: AcSpgemmOptions,
     exc: ReproError,
     spans: SpanRecorder,
+    dtrace: DeviceTrace | None = None,
 ) -> AcSpgemmResult:
     """Recompute C with the global-ESC baseline after ``exc``.
 
@@ -218,9 +230,23 @@ def _degraded_result(
 
     spans.abort(reason=exc.one_line())
     spans.event("degraded", detail=exc.one_line())
+    if dtrace is not None:
+        # the trace keeps every record collected before the failure; the
+        # marker tells consumers the adaptive records are partial and the
+        # result totals cover only the fallback
+        dtrace.mark_truncated(exc.one_line())
+    fb_start = spans.now
     run = fallback_multiply(a, b, opts, spans=spans)
     stage_cycles = {k: 0.0 for k in STAGE_KEYS}
     stage_cycles["FB"] = run.cycles
+    if dtrace is not None:
+        dtrace.record_device_wide(
+            "FB",
+            "fallback",
+            start_cycle=fb_start,
+            cycles=run.cycles,
+            counters=run.counters.snapshot(),
+        )
     memory = MemoryReport(
         helper_bytes=0,
         chunk_pool_bytes=conservative_pool_bytes(a, b, opts),
@@ -240,6 +266,7 @@ def _degraded_result(
         spans=spans.close(degraded=True),
         degraded=True,
         failure=exc.context(),
+        device_trace=dtrace,
     )
 
 
@@ -248,6 +275,7 @@ def _run_pipeline(
     b: CSRMatrix,
     opts: AcSpgemmOptions,
     spans: SpanRecorder,
+    dtrace: DeviceTrace | None = None,
 ) -> AcSpgemmResult:
     """The four-stage pipeline proper (validated inputs, typed raises)."""
     cfg = opts.device
@@ -279,7 +307,17 @@ def _run_pipeline(
     counters.merge(glb_meter.counters)
     counters.kernel_launches += 1
     if trace:
-        trace.record_span("GLB", stage_cycles["GLB"])
+        trace.record_span("GLB", stage_cycles["GLB"], counters=counters)
+    if dtrace is not None:
+        glb_attr = glb_meter.counters.snapshot()
+        glb_attr["kernel_launches"] += 1
+        dtrace.record_device_wide(
+            "GLB",
+            "glb",
+            start_cycle=spans.now,
+            cycles=stage_cycles["GLB"],
+            counters=glb_attr,
+        )
     spans.leaf("glb", stage_cycles["GLB"], stage="GLB", blocks=glb.n_blocks)
 
     # ---- stage 2: AC-ESC with restart loop ------------------------------
@@ -294,6 +332,53 @@ def _run_pipeline(
         pool.fault_hook = injector.pool_gate
 
     ectx = EngineContext(a=a, b=b, glb=glb, options=opts, pool=pool, tracker=tracker)
+
+    def esc_row_range(block_id: int) -> tuple[int, int]:
+        """A-row range covered by an ESC block's non-zero slice."""
+        lo = block_id * glb.nnz_per_block
+        hi = min(lo + glb.nnz_per_block, glb.row_of_nnz.shape[0])
+        if hi <= lo:
+            return -1, -1
+        return int(glb.row_of_nnz[lo]), int(glb.row_of_nnz[hi - 1])
+
+    def esc_meta(blk, outcome=None) -> BlockMeta:
+        row_lo, row_hi = esc_row_range(blk.block_id)
+        if outcome is None:  # aborted before dispatch
+            return BlockMeta(
+                worker_id=blk.block_id,
+                row_lo=row_lo,
+                row_hi=row_hi,
+                esc_iterations=blk.esc_iterations,
+            )
+        return BlockMeta(
+            worker_id=blk.block_id,
+            row_lo=row_lo,
+            row_hi=row_hi,
+            cycles=outcome.cycles,
+            done=outcome.done,
+            scratch_high_water=outcome.scratch_high_water,
+            esc_iterations=blk.esc_iterations,
+            sort_log=outcome.sort_log,
+            counters=outcome.counters.snapshot(),
+        )
+
+    def merge_meta(stage: str, w, outcome=None) -> BlockMeta:
+        if stage == "MM":
+            row_lo, row_hi = int(min(w.rows)), int(max(w.rows))
+        else:
+            row_lo = row_hi = int(w.row)
+        if outcome is None:  # aborted before dispatch
+            return BlockMeta(worker_id=w.block_index, row_lo=row_lo, row_hi=row_hi)
+        return BlockMeta(
+            worker_id=w.block_index,
+            row_lo=row_lo,
+            row_hi=row_hi,
+            cycles=outcome.cycles,
+            done=outcome.done,
+            scratch_high_water=outcome.scratch_high_water,
+            sort_log=outcome.sort_log,
+            counters=outcome.counters.snapshot(),
+        )
 
     def enter_round(stage: str, round_index: int, pending_list: list, restarts: int):
         """Apply driver-level injected faults at a stage-round entry.
@@ -349,12 +434,33 @@ def _run_pipeline(
                 counters.merge(outcome.counters)
                 if not outcome.done:
                     still_pending.append(blk)
-            timing = schedule_blocks(round_cycles, cfg.num_sms, launch_overhead=launch)
+            timing = schedule_blocks(
+                round_cycles,
+                cfg.num_sms,
+                launch_overhead=launch,
+                record_placements=dtrace is not None,
+            )
             stage_cycles["ESC"] += timing.makespan_cycles
             counters.kernel_launches += 1
             track_timing(timing)
             if trace:
-                trace.record_kernel("ESC", timing, round_cycles)
+                trace.record_kernel(
+                    "ESC", timing, round_cycles, pool=pool, counters=counters
+                )
+            if dtrace is not None:
+                dtrace.record_launch(
+                    "ESC",
+                    round_index=rnd,
+                    start_cycle=spans.now,
+                    timing=timing,
+                    launch_overhead=launch,
+                    workers=[
+                        esc_meta(blk, o) for blk, o in zip(run_list, outcomes)
+                    ],
+                    aborted=[esc_meta(blk) for blk in aborted],
+                    counters={"kernel_launches": 1},
+                    pool=pool,
+                )
             spans.leaf(
                 "esc.round",
                 timing.makespan_cycles,
@@ -384,6 +490,15 @@ def _run_pipeline(
                     detail=f"pool grown to {pool.capacity_bytes} B, "
                     f"{len(still_pending)} blocks pending",
                 )
+                if dtrace is not None:
+                    dtrace.record_host(
+                        "ESC",
+                        "restart",
+                        start_cycle=spans.now,
+                        cycles=opts.costs.host_round_trip_cycles,
+                        counters={"host_round_trips": 1},
+                        pool=pool,
+                    )
                 spans.leaf(
                     "esc.restart",
                     opts.costs.host_round_trip_cycles,
@@ -396,7 +511,12 @@ def _run_pipeline(
                         detail=f"pool grown to {pool.capacity_bytes} B, "
                         f"{len(still_pending)} blocks pending",
                     )
-                    trace.record_span("ESC", opts.costs.host_round_trip_cycles)
+                    trace.record_span(
+                        "ESC",
+                        opts.costs.host_round_trip_cycles,
+                        pool=pool,
+                        counters=counters,
+                    )
             pending = still_pending
 
     if opts.sanitize:
@@ -432,12 +552,34 @@ def _run_pipeline(
                     counters.merge(outcome.counters)
                     if not outcome.done:
                         still.append(w)
-                timing = schedule_blocks(cycles, cfg.num_sms, launch_overhead=launch)
+                timing = schedule_blocks(
+                    cycles,
+                    cfg.num_sms,
+                    launch_overhead=launch,
+                    record_placements=dtrace is not None,
+                )
                 stage_cycles[stage] += timing.makespan_cycles
                 counters.kernel_launches += 1
                 track_timing(timing)
                 if trace:
-                    trace.record_kernel(stage, timing, cycles)
+                    trace.record_kernel(
+                        stage, timing, cycles, pool=pool, counters=counters
+                    )
+                if dtrace is not None:
+                    dtrace.record_launch(
+                        stage,
+                        round_index=rnd,
+                        start_cycle=spans.now,
+                        timing=timing,
+                        launch_overhead=launch,
+                        workers=[
+                            merge_meta(stage, w, o)
+                            for w, o in zip(run_list, outcomes)
+                        ],
+                        aborted=[merge_meta(stage, w) for w in aborted],
+                        counters={"kernel_launches": 1},
+                        pool=pool,
+                    )
                 spans.leaf(
                     f"{stage.lower()}.round",
                     timing.makespan_cycles,
@@ -468,6 +610,15 @@ def _run_pipeline(
                         detail=f"pool grown to {pool.capacity_bytes} B, "
                         f"{len(still)} workers pending",
                     )
+                    if dtrace is not None:
+                        dtrace.record_host(
+                            stage,
+                            "restart",
+                            start_cycle=spans.now,
+                            cycles=opts.costs.host_round_trip_cycles,
+                            counters={"host_round_trips": 1},
+                            pool=pool,
+                        )
                     spans.leaf(
                         f"{stage.lower()}.restart",
                         opts.costs.host_round_trip_cycles,
@@ -487,7 +638,21 @@ def _run_pipeline(
             counters.kernel_launches += 1
         counters.merge(mcc_meter.counters)
         if trace:
-            trace.record_span("MCC", stage_cycles["MCC"])
+            trace.record_span(
+                "MCC", stage_cycles["MCC"], pool=pool, counters=counters
+            )
+        if dtrace is not None:
+            mcc_attr = mcc_meter.counters.snapshot()
+            if assignment.n_shared_rows:
+                mcc_attr["kernel_launches"] += 1
+            dtrace.record_device_wide(
+                "MCC",
+                "mcc",
+                start_cycle=spans.now,
+                cycles=stage_cycles["MCC"],
+                counters=mcc_attr,
+                pool=pool,
+            )
         spans.leaf(
             "mcc",
             stage_cycles["MCC"],
@@ -524,16 +689,57 @@ def _run_pipeline(
         out_meter = CostMeter(config=cfg, constants=opts.costs)
         row_ptr = build_row_pointer(tracker, out_meter)
         c, copy_cycles = engine.copy_output(ectx, row_ptr, out_meter)
-        timing = schedule_blocks(copy_cycles, cfg.num_sms, launch_overhead=launch)
+        timing = schedule_blocks(
+            copy_cycles,
+            cfg.num_sms,
+            launch_overhead=launch,
+            record_placements=dtrace is not None,
+        )
         scan_cycles = _device_wide_cycles(out_meter, cfg.num_sms)
         stage_cycles["CC"] = scan_cycles + timing.makespan_cycles
         counters.merge(out_meter.counters)
         counters.kernel_launches += 2  # row-pointer scan + copy
         track_timing(timing)
         if trace:
-            trace.record_span("CC", scan_cycles)
-            trace.record_kernel("CC", timing, copy_cycles)
+            trace.record_span("CC", scan_cycles, pool=pool, counters=counters)
+            trace.record_kernel(
+                "CC", timing, copy_cycles, pool=pool, counters=counters
+            )
+        if dtrace is not None:
+            scan_attr = out_meter.counters.snapshot()
+            scan_attr["kernel_launches"] += 1
+            dtrace.record_device_wide(
+                "CC",
+                "output.row_ptr",
+                start_cycle=spans.now,
+                cycles=scan_cycles,
+                counters=scan_attr,
+                pool=pool,
+            )
         spans.leaf("output.row_ptr", scan_cycles, stage="CC")
+        if dtrace is not None:
+            # one copy block per chunk, in the chunk order the copy
+            # walked (pool.ordered_chunks()); its traffic is already in
+            # the out_meter sink, so blocks carry no counter deltas
+            dtrace.record_launch(
+                "CC",
+                round_index=0,
+                start_cycle=spans.now,
+                timing=timing,
+                launch_overhead=launch,
+                workers=[
+                    BlockMeta(
+                        worker_id=i,
+                        row_lo=int(ch.first_row),
+                        row_hi=int(ch.last_row),
+                        cycles=copy_cycles[i],
+                    )
+                    for i, ch in enumerate(pool.ordered_chunks())
+                ],
+                counters={"kernel_launches": 1},
+                pool=pool,
+            )
+            dtrace.finalize_chunks(pool, glb.n_blocks)
         spans.leaf(
             "output.copy", timing.makespan_cycles, stage="CC", blocks=timing.n_blocks
         )
@@ -567,4 +773,5 @@ def _run_pipeline(
         spans=spans.close(restarts=restarts),
         engine_stats={k: engine.host_stats[k] for k in sorted(engine.host_stats)},
         sm_utilization=util_busy / util_cap if util_cap else 1.0,
+        device_trace=dtrace,
     )

@@ -223,8 +223,15 @@ class RowChunkTracker:
         """Link ``chunk`` into ``row``'s list and add its element count.
 
         One atomic exchange on the list head plus one atomic add on the
-        row count; appending to the shared-rows array costs another
-        atomic when the second chunk arrives.
+        row count.  Appending to the shared-rows array costs another
+        atomic when the second chunk arrives — that charge is *deferred*
+        to the end of the block's run (:class:`~repro.core.esc.EscBlock`
+        counts the new shared rows and settles them in one
+        ``meter.atomic`` call), because the optimistic engines only
+        learn which block inserted a row's second chunk during the
+        serial replay and settle it the same way; charging it inline
+        here would give the reference a different float-addition order
+        and break per-block cycle bit-identity across engines.
         """
         lst = self.row_lists.setdefault(row, [])
         lst.append(chunk)
@@ -232,7 +239,6 @@ class RowChunkTracker:
         self.row_counts[row] += count
         if len(lst) == 2:
             self.shared_rows.append(row)
-            meter.atomic(1)
 
     def insert_chunk(self, chunk: Chunk, b: CSRMatrix, meter: CostMeter) -> None:
         """Insert a chunk for every row it covers."""

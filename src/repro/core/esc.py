@@ -64,6 +64,11 @@ class EscBlock:
     done: bool = False
     attempts: int = 0
     total_cycles: float = field(default=0.0)
+    #: expand-sort-compact iterations actually executed (Fig. 9's
+    #: "ESC iterations" distribution); restart rollback rewinds this
+    #: together with ``committed`` so faulted runs count like the
+    #: reference execution
+    esc_iterations: int = 0
 
     # ------------------------------------------------------------------
 
@@ -98,6 +103,10 @@ class EscBlock:
         lo, hi = self._entry_range()
         n_entries = hi - lo
         chunks_written = 0
+        # shared-row atomics are settled once at every exit (see
+        # RowChunkTracker.insert): one n*atomic_cycles addition, the
+        # same float operation the optimistic engines' replay applies
+        shared0 = len(tracker.shared_rows)
 
         # ---- Fetch A (§3.2.1) -----------------------------------------
         a_cols = a.col_idx[lo:hi]
@@ -147,6 +156,7 @@ class EscBlock:
                         check_scratchpad_clean(
                             ctx.scratchpad, stage="ESC", block_id=self.block_id
                         )
+                    meter.atomic(len(tracker.shared_rows) - shared0)
                     self.total_cycles += meter.cycles
                     return EscBlockOutcome(False, meter.cycles, chunks_written)
                 meter.global_write(1, pool.data_bytes(0, 0))
@@ -186,6 +196,7 @@ class EscBlock:
 
             if taken == 0 and carried_rows.shape[0] == 0:
                 break  # drained and nothing held locally
+            self.esc_iterations += 1
 
             # ---- Expansion (§3.2.3) ------------------------------------
             if taken:
@@ -275,6 +286,7 @@ class EscBlock:
                         check_scratchpad_clean(
                             ctx.scratchpad, stage="ESC", block_id=self.block_id
                         )
+                    meter.atomic(len(tracker.shared_rows) - shared0)
                     self.total_cycles += meter.cycles
                     return EscBlockOutcome(False, meter.cycles, chunks_written)
                 # compacting round trip through scratchpad, then a
@@ -307,6 +319,7 @@ class EscBlock:
             check_scratchpad_clean(
                 ctx.scratchpad, stage="ESC", block_id=self.block_id
             )
+        meter.atomic(len(tracker.shared_rows) - shared0)
         self.total_cycles += meter.cycles
         return EscBlockOutcome(True, meter.cycles, chunks_written)
 

@@ -106,6 +106,12 @@ class AcSpgemmOptions:
     #: deterministic fault-injection plan (``repro.resilience.faults``);
     #: activated once per run, identical effects on every engine
     fault_plan: FaultPlan | None = None
+    #: collect the device-level trace (``repro.obs.device``): per-block
+    #: events with SM placement, scratchpad high-water and sort shapes,
+    #: plus per-record counter attribution.  Byte-identical across all
+    #: three engines and zero-cost when off; attached to the result as
+    #: ``result.device_trace``
+    device_trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))

@@ -48,6 +48,11 @@ class RoundOutcome:
     cycles: float
     done: bool
     counters: TrafficCounters
+    #: device-trace extras (populated only when ``options.device_trace``):
+    #: the block's scratchpad high-water mark in bytes and the radix sorts
+    #: it executed this round as ``(n_elements, key_bits)`` tuples
+    scratch_high_water: int = 0
+    sort_log: tuple = ()
 
 
 class Engine:

@@ -210,6 +210,7 @@ def _esc_on_success(blk, cycles: float) -> None:
 def _esc_on_fail(blk, rec: AllocationRecord, cycles: float) -> None:
     blk.committed = rec.restore["committed"]
     blk.n_long_emitted = rec.restore["n_long_emitted"]
+    blk.esc_iterations = rec.restore["esc_iterations"]
     blk.chunk_seq = rec.chunk.order_key[1]
     blk.done = False
     blk.total_cycles += cycles
@@ -341,6 +342,8 @@ def _esc_optimistic_batch(
     for k, blk in enumerate(pending):
         blk.attempts += 1
         meter = CostMeter(config=cfg, constants=opts.costs)
+        if opts.device_trace:
+            meter.sort_log = []
         scratch = Scratchpad.for_device(cfg)
         n = int(n_ent[k])
         ent0 = int(ent_off[k])
@@ -374,6 +377,7 @@ def _esc_optimistic_batch(
             records=st.records,
             on_success=_esc_on_success,
             on_fail=_esc_on_fail,
+            scratchpad=scratch,
         )
 
         # Write Long Rows (§3.4): pointer chunks, in entry order
@@ -401,7 +405,10 @@ def _esc_optimistic_batch(
                     restore={
                         "committed": blk.committed,
                         "n_long_emitted": blk.n_long_emitted,
+                        "esc_iterations": blk.esc_iterations,
                     },
+                    pre_scratch_high=scratch.high_water,
+                    pre_sort_len=len(meter.sort_log or ()),
                 )
                 meter.atomic(1)  # pool bump allocation
                 meter.global_write(1, ectx.pool.data_bytes(0, 0))
@@ -448,6 +455,7 @@ def _esc_optimistic_batch(
             if st.taken == 0 and st.carried_rows.shape[0] == 0:
                 _esc_finish(st, opts.sanitize)  # drained, nothing held locally
             else:
+                st.blk.esc_iterations += 1
                 runnable.append(st)
         if not runnable:
             break
@@ -621,6 +629,7 @@ def _esc_optimistic_batch(
         gbr_l = payload.tolist()
         fl_l = t2.tolist()
         p_l = passes.tolist()
+        trace_sorts = opts.device_trace
         for i, st in enumerate(runnable):
             st.meter.cycles = cyc_l[i]
             k = st.meter.counters
@@ -630,6 +639,10 @@ def _esc_optimistic_batch(
             k.flops += fl_l[i]
             k.sorted_elements += seg_sizes_list[i]
             k.sort_passes += p_l[i]
+            if trace_sorts:
+                # mirrors CostMeter.radix_sort's log entry for the
+                # reference's (n_batch, row_bits + col_bits) sort
+                st.meter.sort_log.append((seg_sizes_list[i], key_bits_list[i]))
 
         # ---- batch the per-block emission bookkeeping ------------------
         # global row id of every compacted entry
@@ -707,7 +720,10 @@ def _esc_optimistic_batch(
                     restore={
                         "committed": blk.committed,
                         "n_long_emitted": blk.n_long_emitted,
+                        "esc_iterations": blk.esc_iterations,
                     },
+                    pre_scratch_high=st.scratch.high_water,
+                    pre_sort_len=len(meter.sort_log or ()),
                 )
                 k = meter.counters
                 w2 = 2 * write_n
@@ -770,6 +786,8 @@ def _multi_merge_optimistic_batch(
     grp_vals: list[np.ndarray] = []
     for w in workers:
         meter = CostMeter(config=cfg, constants=opts.costs)
+        if opts.device_trace:
+            meter.sort_log = []
         rows_parts: list[np.ndarray] = []
         cols_parts: list[np.ndarray] = []
         vals_parts: list[np.ndarray] = []
@@ -871,6 +889,7 @@ def _multi_merge_optimistic_batch(
             pre_cycles=meter.cycles,
             pre_counters=snapshot_counters(meter.counters),
             commit=("replace", list(w.rows), [int(c) for c in counts]),
+            pre_sort_len=len(meter.sort_log or ()),
         )
         meter.atomic(1)  # pool bump allocation
         meter.scratchpad(2 * comp_n)

@@ -44,9 +44,16 @@ class _ShadowPool:
     are assigned during the serial replay.
     """
 
-    def __init__(self, real_pool, records: list, state_fn: Callable[[], dict]):
+    def __init__(
+        self,
+        real_pool,
+        records: list,
+        state_fn: Callable[[], dict],
+        scratchpad=None,
+    ):
         self._records = records
         self._state_fn = state_fn
+        self._scratchpad = scratchpad
         self.data_bytes = real_pool.data_bytes
 
     def allocate(self, chunk, nbytes: int, meter):
@@ -59,6 +66,10 @@ class _ShadowPool:
             pre_counters=snapshot_counters(meter.counters),
             commit=("insert", [], []),
             restore=self._state_fn(),
+            pre_scratch_high=(
+                self._scratchpad.high_water if self._scratchpad is not None else 0
+            ),
+            pre_sort_len=len(meter.sort_log or ()),
         )
         meter.atomic(1)
         self._records.append(rec)
@@ -81,6 +92,14 @@ class _ShadowTracker:
 
     def is_shared(self, row: int) -> bool:
         return self._real.is_shared(row)
+
+    @property
+    def shared_rows(self):
+        # EscBlock.run counts new shared rows to settle their deferred
+        # atomics at exit; the real tracker never mutates while blocks
+        # run optimistically, so that count is 0 here and the replay's
+        # correction is the one that lands — same addition, same order.
+        return self._real.shared_rows
 
     # -- writes ----------------------------------------------------------
     def insert_chunk(self, chunk, b, meter) -> None:
@@ -128,23 +147,27 @@ class ParallelEngine(ReferenceEngine):
             ctx = BlockContext(
                 config=opts.device, block_id=blk.block_id, constants=opts.costs
             )
+            if opts.device_trace:
+                ctx.meter.sort_log = []
             shadow_pool = _ShadowPool(
                 ectx.pool,
                 records,
                 lambda blk=blk: {
                     "committed": blk.committed,
                     "n_long_emitted": blk.n_long_emitted,
+                    "esc_iterations": blk.esc_iterations,
                 },
+                scratchpad=ctx.scratchpad,
             )
             shadow_tracker = _ShadowTracker(ectx.tracker, records)
             blk.run(ctx, shadow_pool, shadow_tracker)
-            return ctx.meter, records
+            return ctx.meter, records, ctx.scratchpad
 
         with ThreadPoolExecutor(self._pool_size(len(pending))) as ex:
             results = list(ex.map(execute, pending))
 
         runs: list[OptimisticRun] = []
-        for blk, (meter, records) in zip(pending, results):
+        for blk, (meter, records, scratch) in zip(pending, results):
             # blk.run already booked the full optimistic attempt (cycles
             # into total_cycles, done=True, final restart state); the
             # callbacks correct it to the replay outcome.
@@ -156,11 +179,16 @@ class ParallelEngine(ReferenceEngine):
             def on_fail(worker, rec, cycles, _full=full):
                 worker.committed = rec.restore["committed"]
                 worker.n_long_emitted = rec.restore["n_long_emitted"]
+                worker.esc_iterations = rec.restore["esc_iterations"]
                 worker.chunk_seq = rec.chunk.order_key[1]
                 worker.done = False
                 worker.total_cycles += cycles - _full
 
-            runs.append(OptimisticRun(blk, meter, records, on_success, on_fail))
+            runs.append(
+                OptimisticRun(
+                    blk, meter, records, on_success, on_fail, scratchpad=scratch
+                )
+            )
         return replay_and_commit(ectx.pool, ectx.tracker, runs, opts.costs)
 
     def merge_round(
@@ -178,6 +206,8 @@ class ParallelEngine(ReferenceEngine):
             ctx = BlockContext(
                 config=opts.device, block_id=idx, constants=opts.costs
             )
+            if opts.device_trace:
+                ctx.meter.sort_log = []
             shadow_pool = _ShadowPool(ectx.pool, records, dict)
             shadow_tracker = _ShadowTracker(ectx.tracker, records)
             w.run(ctx, shadow_tracker, shadow_pool, ectx.b, opts)

@@ -32,9 +32,17 @@ class ReferenceEngine(Engine):
             ctx = BlockContext(
                 config=opts.device, block_id=blk.block_id, constants=opts.costs
             )
+            if opts.device_trace:
+                ctx.meter.sort_log = []
             outcome = blk.run(ctx, ectx.pool, ectx.tracker)
             out.append(
-                RoundOutcome(outcome.cycles, outcome.done, ctx.meter.counters)
+                RoundOutcome(
+                    outcome.cycles,
+                    outcome.done,
+                    ctx.meter.counters,
+                    scratch_high_water=ctx.scratchpad.high_water,
+                    sort_log=tuple(ctx.meter.sort_log or ()),
+                )
             )
         return out
 
@@ -49,6 +57,8 @@ class ReferenceEngine(Engine):
             ctx = BlockContext(
                 config=opts.device, block_id=idx, constants=opts.costs
             )
+            if opts.device_trace:
+                ctx.meter.sort_log = []
             if stage == "MM":
                 # Multi Merge restart starts from scratch (§3.3)
                 try:
@@ -58,7 +68,15 @@ class ReferenceEngine(Engine):
                     done = False
             else:
                 done = w.run(ctx, ectx.tracker, ectx.pool, ectx.b, opts)
-            out.append(RoundOutcome(ctx.meter.cycles, done, ctx.meter.counters))
+            out.append(
+                RoundOutcome(
+                    ctx.meter.cycles,
+                    done,
+                    ctx.meter.counters,
+                    scratch_high_water=ctx.scratchpad.high_water,
+                    sort_log=tuple(ctx.meter.sort_log or ()),
+                )
+            )
         return out
 
     def copy_output(

@@ -56,6 +56,11 @@ class AllocationRecord:
     pre_counters: TrafficCounters
     commit: tuple
     restore: dict = field(default_factory=dict)
+    #: device-trace snapshots taken with ``pre_cycles``: the scratchpad
+    #: high-water mark and sort-log length at the moment the reference
+    #: execution would have attempted (and failed) this allocation
+    pre_scratch_high: int = 0
+    pre_sort_len: int = 0
 
 
 @dataclass
@@ -70,6 +75,8 @@ class OptimisticRun:
     on_success: Callable[[object, float], None] | None = None
     #: applied on failure with the failing record and truncated cycles
     on_fail: Callable[[object, AllocationRecord, float], None] | None = None
+    #: the block's scratchpad, when the stage uses one (device trace)
+    scratchpad: object | None = None
 
 
 def snapshot_counters(c: TrafficCounters) -> TrafficCounters:
@@ -131,18 +138,43 @@ def replay_and_commit(
                     tracker.replace_row(row, [rec.chunk], count)
 
         correction = extra_shared * constants.atomic_cycles
+        sort_log = run.meter.sort_log
         if failed is None:
             counters = snapshot_counters(run.meter.counters)
             counters.atomic_ops += extra_shared
             cycles = run.meter.cycles + correction
             if run.on_success is not None:
                 run.on_success(run.worker, cycles)
-            outcomes.append(RoundOutcome(cycles, True, counters))
+            outcomes.append(
+                RoundOutcome(
+                    cycles,
+                    True,
+                    counters,
+                    scratch_high_water=(
+                        run.scratchpad.high_water if run.scratchpad is not None else 0
+                    ),
+                    sort_log=tuple(sort_log) if sort_log is not None else (),
+                )
+            )
         else:
             counters = snapshot_counters(failed.pre_counters)
             counters.atomic_ops += extra_shared
             cycles = failed.pre_cycles + correction
             if run.on_fail is not None:
                 run.on_fail(run.worker, failed, cycles)
-            outcomes.append(RoundOutcome(cycles, False, counters))
+            # truncate the trace extras to the failure point, mirroring
+            # what the reference block had done when the allocation raised
+            outcomes.append(
+                RoundOutcome(
+                    cycles,
+                    False,
+                    counters,
+                    scratch_high_water=failed.pre_scratch_high,
+                    sort_log=(
+                        tuple(sort_log[: failed.pre_sort_len])
+                        if sort_log is not None
+                        else ()
+                    ),
+                )
+            )
     return outcomes

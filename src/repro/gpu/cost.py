@@ -83,6 +83,9 @@ class CostMeter:
     constants: CostConstants = field(default=DEFAULT_COSTS)
     cycles: float = 0.0
     counters: TrafficCounters = field(default_factory=TrafficCounters)
+    #: when set to a list (device tracing), every radix sort appends
+    #: ``(n_elements, key_bits)``; ``None`` keeps the default path free
+    sort_log: list | None = field(default=None, repr=False)
 
     # -- global memory ------------------------------------------------
 
@@ -153,6 +156,8 @@ class CostMeter:
         self.scratchpad(int(passes * n_elements * k.radix_pass_scratch_per_element))
         self.counters.sorted_elements += n_elements
         self.counters.sort_passes += passes
+        if self.sort_log is not None:
+            self.sort_log.append((int(n_elements), int(key_bits)))
 
     def scan(self, n_elements: int) -> None:
         """Block-wide prefix scan (any operator)."""

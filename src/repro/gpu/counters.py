@@ -54,6 +54,28 @@ class TrafficCounters:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def __sub__(self, other: "TrafficCounters") -> "TrafficCounters":
+        """Checked delta: ``self - other``, field by field.
+
+        Counters are monotone within one execution, so a later snapshot
+        minus an earlier one can never be negative; a negative field means
+        the operands are swapped or come from different runs.  Raising
+        here turns that silent underflow into an immediate error.
+        """
+        if not isinstance(other, TrafficCounters):
+            return NotImplemented
+        delta = TrafficCounters()
+        for f in fields(self):
+            value = getattr(self, f.name) - getattr(other, f.name)
+            if value < 0:
+                raise ValueError(
+                    f"negative counter delta for {f.name!r}: "
+                    f"{getattr(self, f.name)} - {getattr(other, f.name)} = {value} "
+                    "(operands swapped, or snapshots from different runs?)"
+                )
+            setattr(delta, f.name, value)
+        return delta
+
     def snapshot(self) -> dict[str, int]:
         """Counter values as a plain dict."""
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -39,6 +39,9 @@ class Scratchpad:
 
     capacity_bytes: int
     allocations: dict[str, int] = field(default_factory=dict)
+    #: largest concurrent footprint ever observed; survives ``free``/``reset``
+    #: so the device trace can report per-block scratchpad residency
+    high_water: int = 0
 
     @classmethod
     def for_device(cls, config: DeviceConfig) -> "Scratchpad":
@@ -68,6 +71,9 @@ class Scratchpad:
                 f"(existing: {self.allocations})"
             )
         self.allocations[name] = n_bytes
+        used = self.used_bytes
+        if used > self.high_water:
+            self.high_water = used
 
     def alloc_array(self, name: str, n_elements: int, element_bytes: int) -> None:
         """Reserve an ``n_elements`` array of ``element_bytes`` items."""

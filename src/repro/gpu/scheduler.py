@@ -11,10 +11,19 @@ multiprocessor-load statistic (Table 3, "mpL").
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["KernelTiming", "schedule_blocks", "partition_aborted"]
+__all__ = ["KernelTiming", "BlockPlacement", "schedule_blocks", "partition_aborted"]
+
+
+@dataclass(frozen=True)
+class BlockPlacement:
+    """Where one block ran: SM id plus start/end relative to launch start."""
+
+    sm: int
+    start_cycle: float
+    end_cycle: float
 
 
 @dataclass(frozen=True)
@@ -24,6 +33,10 @@ class KernelTiming:
     makespan_cycles: float
     sm_busy_cycles: tuple[float, ...]
     n_blocks: int
+    #: per-block placements in dispatch (block-id) order; only populated
+    #: when the launch was scheduled with ``record_placements=True`` and
+    #: deliberately excluded from equality (it is derived data)
+    placements: tuple[BlockPlacement, ...] | None = field(default=None, compare=False)
 
     @property
     def total_block_cycles(self) -> float:
@@ -49,17 +62,25 @@ class KernelTiming:
 
 
 def schedule_blocks(
-    block_cycles: Sequence[float], num_sms: int, *, launch_overhead: float = 0.0
+    block_cycles: Sequence[float],
+    num_sms: int,
+    *,
+    launch_overhead: float = 0.0,
+    record_placements: bool = False,
 ) -> KernelTiming:
     """Greedy list scheduling of blocks onto SMs.
 
     Blocks are issued in id order to the SM that becomes free first
     (ties broken by SM id).  Returns the kernel makespan including the
-    launch overhead and per-SM busy times.
+    launch overhead and per-SM busy times.  With ``record_placements``
+    the per-block (SM, start, end) assignments are kept for the device
+    trace; the accumulation order is unchanged, so busy times stay
+    bit-identical whether or not placements are recorded.
     """
     if num_sms <= 0:
         raise ValueError("num_sms must be positive")
     busy = [0.0] * num_sms
+    placements: list[BlockPlacement] | None = [] if record_placements else None
     if block_cycles:
         heap: list[tuple[float, int]] = [(0.0, sm) for sm in range(num_sms)]
         heapq.heapify(heap)
@@ -69,6 +90,10 @@ def schedule_blocks(
             available, sm = heapq.heappop(heap)
             finish = available + cycles
             busy[sm] += cycles
+            if placements is not None:
+                placements.append(
+                    BlockPlacement(sm=sm, start_cycle=available, end_cycle=finish)
+                )
             heapq.heappush(heap, (finish, sm))
         # heap entries hold each SM's finish time; makespan is the latest
         makespan = max(t for t, _ in heap)
@@ -78,6 +103,7 @@ def schedule_blocks(
         makespan_cycles=makespan + launch_overhead,
         sm_busy_cycles=tuple(busy),
         n_blocks=len(block_cycles),
+        placements=tuple(placements) if placements is not None else None,
     )
 
 

@@ -10,9 +10,13 @@ is engine-comparable and byte-deterministic:
   traffic counters, per-stage cycles, restart/degradation counts and
   pool high-water marks into JSON and Prometheus text exports;
 * :mod:`repro.obs.export` / :mod:`repro.obs.profile` — Perfetto JSON
-  emission + validation and the ``repro profile`` workload.
+  emission + validation and the ``repro profile`` workload;
+* :mod:`repro.obs.device` / :mod:`repro.obs.analyze` — the opt-in
+  device-level trace (per-SM/per-block timelines, counter attribution)
+  and the ``repro analyze`` paper-figure reports built from it.
 """
 
+from .device import BlockEvent, BlockMeta, DeviceRecord, DeviceTrace
 from .export import (
     perfetto_payload,
     span_events,
@@ -31,6 +35,10 @@ def __getattr__(name):
         from . import profile
 
         return getattr(profile, name)
+    if name in ("AnalysisReport", "analyze_result", "render_html"):
+        from . import analyze
+
+        return getattr(analyze, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -40,6 +48,13 @@ __all__ = [
     "MetricsRegistry",
     "ProfileReport",
     "profile_run",
+    "BlockEvent",
+    "BlockMeta",
+    "DeviceRecord",
+    "DeviceTrace",
+    "AnalysisReport",
+    "analyze_result",
+    "render_html",
     "span_events",
     "perfetto_payload",
     "write_perfetto",

@@ -95,16 +95,29 @@ def span_events(
 
 
 def perfetto_payload(
-    *, spans: Span | None = None, trace=None, clock_ghz: float | None = None
+    *,
+    spans: Span | None = None,
+    trace=None,
+    device=None,
+    clock_ghz: float | None = None,
 ) -> dict:
-    """Combined Perfetto JSON object for spans and/or a kernel trace."""
-    if spans is None and trace is None:
-        raise ValueError("need at least one of spans or trace")
+    """Combined Perfetto JSON object for spans, kernel and device traces.
+
+    ``device`` is a :class:`~repro.obs.device.DeviceTrace`; it adds a
+    third process row (pid 3) with one thread per SM plus counter
+    tracks (scratchpad bytes, chunk-pool occupancy).
+    """
+    if spans is None and trace is None and device is None:
+        raise ValueError("need at least one of spans, trace or device")
     events: list[dict] = []
     if trace is not None:
         events.extend(trace.to_events(pid=DEVICE_PID))
         if clock_ghz is None:
             clock_ghz = trace.clock_ghz
+    if device is not None:
+        events.extend(device.to_perfetto_events())
+        if clock_ghz is None:
+            clock_ghz = device.clock_ghz
     if spans is not None:
         if clock_ghz is None:
             raise ValueError("clock_ghz is required to export spans alone")
@@ -162,11 +175,22 @@ def validate_perfetto(payload) -> None:
             ):
                 raise ValueError(f"metadata event {i} carries no payload")
             continue
-        if ph not in ("X", "i", "I", "B", "E"):
+        if ph not in ("X", "i", "I", "B", "E", "C"):
             raise ValueError(f"event {i} has unsupported phase {ph!r}")
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             raise ValueError(f"event {i} has invalid ts {ts!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"counter event {i} has no args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"counter event {i} has non-numeric series "
+                        f"{key!r}: {value!r}"
+                    )
+            continue
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

@@ -126,10 +126,12 @@ class ProfileReport:
     # -- file exports -------------------------------------------------
 
     def trace_payload(self) -> dict:
-        """Merged Perfetto JSON object (device timeline + span tree)."""
+        """Merged Perfetto JSON object (device timeline + span tree,
+        plus per-SM tracks when the device trace was collected)."""
         return perfetto_payload(
             spans=self.result.spans,
             trace=self.result.trace,
+            device=self.result.device_trace,
             clock_ghz=self.result.clock_ghz,
         )
 
