@@ -1,11 +1,14 @@
 """Figures 9-12: per-matrix marker plots for the complete test set —
 small (a < 42) and large (a >= 42) matrices, float and double.
 
-The bench emits the full per-matrix GFLOPS series for all six
-algorithms as CSV (the data behind the paper's marker plots) and checks
-the headline fractions: AC-SpGEMM is the fastest approach for the large
-majority of small/sparse matrices and takes the overall lead on most of
-the full set (the paper reports 83%).
+The underlying sweep comes from the ``full_records`` fixture, which
+runs it as a sharded, resumable campaign (:mod:`repro.campaign`) —
+shard it across processes with ``REPRO_BENCH_WORKERS=4``; the records
+are identical regardless.  The bench emits the full per-matrix GFLOPS
+series for all six algorithms as CSV (the data behind the paper's
+marker plots) and checks the headline fractions: AC-SpGEMM is the
+fastest approach for the large majority of small/sparse matrices and
+takes the overall lead on most of the full set (the paper reports 83%).
 """
 
 from __future__ import annotations

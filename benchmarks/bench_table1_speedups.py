@@ -1,6 +1,9 @@
 """Table 1: relative speedup of AC-SpGEMM over every competitor, split
 into highly sparse (a <= 42) and denser matrices, float and double.
 
+The sweep behind the table is the campaign-run ``full_records``
+fixture (see ``conftest.py``); set ``REPRO_BENCH_WORKERS`` to shard it.
+
 Paper claims reproduced:
 * AC-SpGEMM dominates the highly sparse split (best for ~most matrices,
   h.mean speedups > 1 against every competitor);

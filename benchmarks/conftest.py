@@ -1,13 +1,18 @@
 """Shared fixtures for the paper-reproduction benchmarks.
 
 The expensive part — running every algorithm over every matrix in both
-precisions — happens once per cache version and is memoised on disk
-(``results/sweep_cache.json``); the per-figure bench files read from the
-shared sweep.
+precisions — is driven by the sharded campaign runner
+(:mod:`repro.campaign`): the full-set sweep behind Figures 9-12 and
+Table 1 runs as a resumable campaign whose shards live under
+``results/campaign_full`` and whose records are folded into the shared
+sweep cache (``results/sweep_cache.json``), so the per-figure bench
+files read from one deterministic sweep no matter how many workers (set
+``REPRO_BENCH_WORKERS``) produced it.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -17,9 +22,9 @@ from repro.bench import (
     GPU_LINEUP,
     default_cache,
     named_cases,
-    suite_cases,
     sweep,
 )
+from repro.campaign import CampaignConfig, campaign_records
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -38,15 +43,17 @@ def cache():
 @pytest.fixture(scope="session")
 def full_records(cache):
     """The complete sweep: (suite + named) x GPU line-up x {float32,
-    float64}.  Correctness is covered by the test suite, so the sweep
-    skips per-cell verification."""
-    cases = suite_cases() + named_cases()
-    return sweep(
-        cases,
-        GPU_LINEUP,
-        (np.float32, np.float64),
-        cache,
-        verify=False,
+    float64}, executed as a resumable campaign.  Correctness is covered
+    by the test suite, so the sweep skips per-cell verification."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    config = CampaignConfig(
+        suite="full", dtypes=("float32", "float64"), verify=False
+    )
+    return campaign_records(
+        RESULTS_DIR / "campaign_full",
+        config,
+        workers=max(workers, 1),
+        cache_path=cache.path,
     )
 
 

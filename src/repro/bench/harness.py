@@ -12,10 +12,16 @@ files can share one sweep.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+try:  # POSIX-only; cache locking degrades gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..baselines.base import SpGEMMAlgorithm
 from ..baselines.registry import make_algorithm
@@ -25,22 +31,61 @@ from ..sparse.stats import matrix_stats, squared_operands
 
 __all__ = ["MatrixCase", "RunRecord", "ResultCache", "run_case", "default_cache"]
 
-#: bump when generators / cost model change incompatibly
-CACHE_VERSION = 8
+#: bump when generators / cost model / record schema change incompatibly
+CACHE_VERSION = 9
 
 
 @dataclass
 class MatrixCase:
-    """One benchmark input: the matrix and its squared-product operands."""
+    """One benchmark input: the matrix and its squared-product operands.
+
+    Operands, the intermediate-product count and the row statistics are
+    computed lazily and memoised: a warm-cache sweep that answers every
+    cell from the :class:`ResultCache` never touches them (they are the
+    expensive part — ``A @ A.T`` transposes and a full product count).
+    """
 
     name: str
     matrix: CSRMatrix
     family: str = ""
+    _operands: tuple[CSRMatrix, CSRMatrix] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _temp: int | None = field(default=None, init=False, repr=False, compare=False)
+    _stats: object | None = field(default=None, init=False, repr=False, compare=False)
 
-    def __post_init__(self) -> None:
-        self.a, self.b = squared_operands(self.matrix)
-        self.temp = count_intermediate_products(self.a, self.b)
-        self.stats = matrix_stats(self.matrix)
+    @property
+    def materialized(self) -> bool:
+        """Whether the benchmark operands have been constructed yet."""
+        return self._operands is not None
+
+    @property
+    def a(self) -> CSRMatrix:
+        """Left operand of the benchmark product."""
+        if self._operands is None:
+            self._operands = squared_operands(self.matrix)
+        return self._operands[0]
+
+    @property
+    def b(self) -> CSRMatrix:
+        """Right operand (``A`` or the precomputed ``A.T``)."""
+        if self._operands is None:
+            self._operands = squared_operands(self.matrix)
+        return self._operands[1]
+
+    @property
+    def temp(self) -> int:
+        """Intermediate products of the benchmark product."""
+        if self._temp is None:
+            self._temp = count_intermediate_products(self.a, self.b)
+        return self._temp
+
+    @property
+    def stats(self):
+        """Row-structure statistics of the input matrix."""
+        if self._stats is None:
+            self._stats = matrix_stats(self.matrix)
+        return self._stats
 
     @property
     def mean_row_length(self) -> float:
@@ -103,6 +148,7 @@ def run_case(
     ac = getattr(run, "ac_result", None)
     if ac is not None:
         extras = {
+            "degraded": 1.0 if getattr(ac, "degraded", False) else 0.0,
             "restarts": ac.restarts,
             "mp_load": ac.multiprocessor_load,
             "n_chunks": ac.n_chunks,
@@ -140,14 +186,19 @@ class ResultCache:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._data: dict[str, dict] = {}
-        if self.path.exists():
-            try:
-                payload = json.loads(self.path.read_text())
-                if payload.get("version") == CACHE_VERSION:
-                    self._data = payload.get("cells", {})
-            except (json.JSONDecodeError, OSError):
-                self._data = {}
+        self._data: dict[str, dict] = self._read_disk_cells()
+
+    def _read_disk_cells(self) -> dict[str, dict]:
+        """Current on-disk cells (empty on corruption/version mismatch)."""
+        if not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text())
+            if payload.get("version") == CACHE_VERSION:
+                return payload.get("cells", {})
+        except (json.JSONDecodeError, OSError):
+            pass
+        return {}
 
     @staticmethod
     def key(matrix: str, algorithm: str, dtype: str, options=None) -> str:
@@ -197,11 +248,40 @@ class ResultCache:
         return rec
 
     def save(self) -> None:
-        """Persist the cache to disk."""
+        """Persist the cache to disk, safely under concurrent writers.
+
+        The old implementation rewrote the JSON file in place, so a
+        concurrent writer lost the other's cells and a mid-write kill
+        left a torn (unparseable) file.  Now the writer takes an
+        exclusive file lock, merges the current on-disk cells with its
+        own (its own cells win, though for a deterministic simulator
+        they can only ever agree), writes a temp file in the same
+        directory and atomically renames it over the cache.  Readers
+        therefore always see either the old or the new complete file.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(
-            json.dumps({"version": CACHE_VERSION, "cells": self._data})
-        )
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        lock = open(lock_path, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            merged = self._read_disk_cells()
+            merged.update(self._data)
+            self._data = merged
+            tmp = self.path.with_name(
+                f".{self.path.name}.tmp.{os.getpid()}"
+            )
+            tmp.write_text(
+                json.dumps(
+                    {"version": CACHE_VERSION, "cells": merged},
+                    sort_keys=True,
+                )
+            )
+            os.replace(tmp, self.path)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            lock.close()
 
     def __len__(self) -> int:
         return len(self._data)

@@ -1,0 +1,160 @@
+"""Campaign worker: executes cells pulled from a shared queue.
+
+Each worker process rebuilds its matrices from the (deterministic,
+seeded) generators, runs one cell at a time through the bench harness,
+and checkpoints every outcome — success or exhausted retry budget —
+to its own JSONL shard.  Failed cells are *recorded*, never dropped:
+the merged artifact carries their error context so a campaign over an
+adversarial collection still yields one complete, deterministic
+document.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+import traceback
+
+from ..bench.harness import MatrixCase, run_case
+from ..resilience.errors import ReproError
+from .plan import (
+    CampaignConfig,
+    CellSpec,
+    cell_key,
+    config_entries,
+    enumerate_cells,
+    matrix_fingerprint,
+)
+from .store import ShardWriter
+
+__all__ = ["execute_cell", "worker_main"]
+
+_DTYPES = {"float32": "float32", "float64": "float64"}
+
+
+def _algorithm_for(cell: CellSpec, options):
+    """Resolve the cell's algorithm, honouring non-default options.
+
+    Mirrors :meth:`ResultCache.get_or_run`: pipeline options only apply
+    to AC-SpGEMM; the fixed-function baselines always run stock.
+    """
+    if options is None or cell.algorithm != "ac-spgemm":
+        return cell.algorithm
+    from ..baselines.acspgemm_adapter import AcSpgemm
+    from ..baselines.registry import make_algorithm
+
+    base = make_algorithm(cell.algorithm)
+    return AcSpgemm(device=base.device, costs=base.costs, options=options)
+
+
+def execute_cell(
+    case: MatrixCase,
+    cell: CellSpec,
+    config: CampaignConfig,
+    *,
+    key: str,
+    worker: int,
+    runner=None,
+) -> dict:
+    """Run one cell under the per-cell retry budget.
+
+    Returns the checkpoint line.  ``runner`` is injectable for tests;
+    it defaults to :func:`repro.bench.harness.run_case`.  A cell that
+    keeps failing after ``config.retries`` extra attempts is recorded
+    with ``status: "failed"`` and the typed error context instead of
+    being dropped.
+    """
+    import numpy as np
+
+    run = runner if runner is not None else run_case
+    dtype = np.dtype(_DTYPES[cell.dtype])
+    options = config.options()
+    attempts = 0
+    error: dict | None = None
+    record = None
+    status = "failed"
+    t0 = time.monotonic()
+    while attempts <= config.retries:
+        attempts += 1
+        try:
+            rec = run(
+                case,
+                _algorithm_for(cell, options),
+                dtype.type,
+                verify=config.verify,
+            )
+            record = rec.to_json()
+            status = "ok" if attempts == 1 else "retried"
+            error = None
+            break
+        except ReproError as exc:
+            error = exc.context()
+        except Exception as exc:  # noqa: BLE001 - isolation by design
+            error = {
+                "kind": type(exc).__name__,
+                "message": str(exc),
+                "trace": traceback.format_exc(limit=3),
+            }
+    return {
+        "id": cell.id,
+        "key": key,
+        "status": status,
+        "attempts": attempts,
+        "record": record,
+        "error": error,
+        "worker": worker,
+        "t_host": round(time.monotonic() - t0, 6),
+    }
+
+
+def worker_main(
+    directory: str,
+    worker: int,
+    config_json: dict,
+    work_queue,
+    throttle: float = 0.0,
+) -> None:
+    """Entry point of one campaign worker process.
+
+    Pulls cell indices from ``work_queue`` until it sees ``None``.
+    Matrices (and their lazily computed operands) are built on demand
+    and memoised per worker, so a worker only ever pays for the
+    matrices its cells actually touch.  ``throttle`` is a runtime test
+    hook (a sleep after each cell so kill/resume tests can interrupt a
+    campaign deterministically); it never enters the plan or artifact.
+    """
+    config = CampaignConfig.from_json(config_json)
+    cells = enumerate_cells(config)
+    entries = {e.name: e for e in config_entries(config)}
+    cases: dict[str, MatrixCase] = {}
+    fingerprints: dict[str, str] = {}
+    writer = ShardWriter(directory, worker)
+    try:
+        while True:
+            try:
+                index = work_queue.get(timeout=60)
+            except queue_mod.Empty:
+                break
+            if index is None:
+                break
+            cell = cells[index]
+            case = cases.get(cell.matrix)
+            if case is None:
+                entry = entries[cell.matrix]
+                case = MatrixCase(
+                    entry.name, entry.build(), family=entry.family
+                )
+                cases[cell.matrix] = case
+                fingerprints[cell.matrix] = matrix_fingerprint(case.matrix)
+            line = execute_cell(
+                case,
+                cell,
+                config,
+                key=cell_key(cell, fingerprints[cell.matrix], config),
+                worker=worker,
+            )
+            writer.append(line)
+            if throttle:
+                time.sleep(throttle)
+    finally:
+        writer.close()

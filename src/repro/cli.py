@@ -265,6 +265,71 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Sharded, resumable sweep campaign over a matrix collection."""
+    from .campaign import CampaignConfig, CampaignRunner
+
+    config = CampaignConfig(
+        suite=args.suite,
+        limit=args.limit,
+        algorithms=tuple(args.algorithms.split(","))
+        if args.algorithms
+        else CampaignConfig().algorithms,
+        dtypes=("float32", "float64")
+        if args.dtypes == "both"
+        else (args.dtypes,),
+        engine=args.engine,
+        sanitize=args.sanitize,
+        fallback=args.fallback,
+        verify=args.verify,
+        retries=args.retries,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"\rcampaign: {done}/{total} cells", end="", flush=True)
+
+    runner = CampaignRunner(
+        args.dir,
+        config,
+        workers=args.workers,
+        cache_path=args.cache,
+        progress=progress if not args.quiet else None,
+        throttle=args.throttle,
+    )
+    result = runner.run()
+    if not args.quiet:
+        print()
+    s = result.stats
+    print(
+        f"campaign complete: {s['cells']} cells "
+        f"({s['resumed']} resumed, {s['seeded']} cache-seeded, "
+        f"{s['executed']} executed) in {s['wall_seconds']:.2f}s "
+        f"with {s['workers']} worker(s)"
+    )
+    print(f"merged artifact: {result.artifact_path}")
+    if args.metrics_out:
+        import json
+
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result.metrics.to_json(), indent=2))
+        print(f"wrote campaign metrics JSON to {out}")
+    if args.prom_out:
+        out = Path(args.prom_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(result.metrics.to_prometheus())
+        print(f"wrote campaign Prometheus metrics to {out}")
+    failed = result.failed_cells
+    if failed:
+        print(
+            f"{len(failed)} cells failed after retries "
+            f"(first: {failed[0]})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_compare(args) -> int:
     """Run the full GPU algorithm line-up on one matrix."""
     matrix = load_matrix(args.matrix)
@@ -369,6 +434,47 @@ def main(argv=None) -> int:
     p.add_argument("--perfetto-out", default=None,
                    help="write a Perfetto timeline with per-SM tracks")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sharded, resumable sweep campaign over a matrix collection",
+    )
+    p.add_argument("--suite", default="suite",
+                   choices=("tiny", "suite", "named", "full"),
+                   help="matrix collection (full = suite + named, the "
+                        "figure 9-12 population)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="only the first N matrices of the collection")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = inline execution)")
+    p.add_argument("--dir", default="results/campaign",
+                   help="campaign directory (plan, shards, artifact)")
+    p.add_argument("--algorithms", default=None,
+                   help="comma-separated algorithm subset")
+    p.add_argument("--dtypes", default="float64",
+                   choices=("float32", "float64", "both"))
+    p.add_argument("--engine", default="reference",
+                   choices=("reference", "batched", "parallel"))
+    p.add_argument("--sanitize", action="store_true")
+    p.add_argument("--fallback", action="store_true",
+                   help="degrade failing cells to global ESC instead of "
+                        "recording a failure")
+    p.add_argument("--verify", action="store_true",
+                   help="CPU-verify every cell (slow)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failing cell before it is "
+                        "recorded as failed")
+    p.add_argument("--throttle", type=float, default=0.0,
+                   help=argparse.SUPPRESS)  # kill/resume test hook
+    p.add_argument("--cache", default=None,
+                   help="shared sweep cache to seed from and fold into")
+    p.add_argument("--metrics-out", default=None,
+                   help="write campaign metrics JSON")
+    p.add_argument("--prom-out", default=None,
+                   help="write campaign Prometheus text metrics")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress live progress output")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
     p.add_argument("matrix")

@@ -7,9 +7,18 @@ road network, power law) — span the same regimes.  All generators are
 seeded and deterministic.
 
 Every generator returns canonical CSR with values in (0, 1].
+
+Randomness is threaded explicitly: every generator accepts either an
+integer seed or a ready :class:`numpy.random.Generator` (``SeedLike``)
+and never touches the global NumPy RNG state, so campaign workers in
+separate processes generate bit-identical matrices for the same seed.
+For a fixed integer seed the emitted matrices are byte-identical to
+every earlier release.
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 import numpy as np
 
@@ -17,6 +26,9 @@ from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 
 __all__ = [
+    "SeedLike",
+    "as_generator",
+    "derive_seed",
     "random_uniform",
     "banded",
     "stencil_2d",
@@ -31,6 +43,33 @@ __all__ = [
 ]
 
 _I = np.int64
+
+#: what every generator accepts as its ``seed`` argument
+SeedLike = Union[int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Resolve a ``SeedLike`` into a :class:`numpy.random.Generator`.
+
+    Integers map through :func:`numpy.random.default_rng` (process- and
+    platform-independent); an existing generator passes through so a
+    caller can thread one stream across several generators.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: SeedLike, offset: int) -> SeedLike:
+    """Deterministic sub-seed for a nested generator call.
+
+    Integer seeds keep the historical ``seed + offset`` arithmetic so
+    existing matrices stay byte-identical; generators spawn an
+    independent child stream instead of aliasing the parent state.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.spawn(1)[0]
+    return seed + offset
 
 
 def _coo_to_csr(rows, cols, vals, n_rows, n_cols) -> CSRMatrix:
@@ -49,11 +88,11 @@ def _values(rng: np.random.Generator, n: int) -> np.ndarray:
 
 
 def random_uniform(
-    rows: int, cols: int, avg_row_len: float, seed: int = 0
+    rows: int, cols: int, avg_row_len: float, seed: SeedLike = 0
 ) -> CSRMatrix:
     """Erdős–Rényi-style matrix: each row draws ~Poisson(avg) distinct
     columns uniformly.  The workhorse for sweeping average row length."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     lengths = np.minimum(rng.poisson(avg_row_len, size=rows), cols)
     total = int(lengths.sum())
     r = np.repeat(np.arange(rows, dtype=_I), lengths)
@@ -61,9 +100,9 @@ def random_uniform(
     return _coo_to_csr(r, c, _values(rng, total), rows, cols)
 
 
-def banded(n: int, bandwidth: int, seed: int = 0, fill: float = 1.0) -> CSRMatrix:
+def banded(n: int, bandwidth: int, seed: SeedLike = 0, fill: float = 1.0) -> CSRMatrix:
     """Banded matrix (1-D FEM / tridiagonal-family structure)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     offsets = np.arange(-bandwidth, bandwidth + 1)
     rows_parts, cols_parts = [], []
     for off in offsets:
@@ -78,7 +117,7 @@ def banded(n: int, bandwidth: int, seed: int = 0, fill: float = 1.0) -> CSRMatri
     return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
 
 
-def stencil_2d(side: int, seed: int = 0) -> CSRMatrix:
+def stencil_2d(side: int, seed: SeedLike = 0) -> CSRMatrix:
     """5-point Laplacian stencil on a side x side grid (poisson-like)."""
     n = side * side
     idx = np.arange(n, dtype=_I)
@@ -91,11 +130,11 @@ def stencil_2d(side: int, seed: int = 0) -> CSRMatrix:
         cols.append(idx[ok] + dx + dy * side)
     r = np.concatenate(rows)
     c = np.concatenate(cols)
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
 
 
-def stencil_3d(side: int, seed: int = 0) -> CSRMatrix:
+def stencil_3d(side: int, seed: SeedLike = 0) -> CSRMatrix:
     """7-point stencil on a side^3 grid (atmosmodl-like)."""
     n = side**3
     idx = np.arange(n, dtype=_I)
@@ -118,7 +157,7 @@ def stencil_3d(side: int, seed: int = 0) -> CSRMatrix:
         cols.append(idx[ok] + d * side * side)
     r = np.concatenate(rows)
     c = np.concatenate(cols)
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
 
 
@@ -127,12 +166,12 @@ def power_law(
     avg_row_len: float,
     exponent: float = 2.1,
     max_row_len: int | None = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> CSRMatrix:
     """Scale-free matrix: row lengths follow a truncated power law and
     columns are drawn preferentially (web graphs, webbase-like).  A few
     hub rows become the paper's "individual long rows"."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     if max_row_len is None:
         max_row_len = n
     # Zipf-ish row lengths rescaled to the target average
@@ -149,10 +188,10 @@ def power_law(
     return _coo_to_csr(r, c, _values(rng, total), n, n)
 
 
-def road_network(n: int, seed: int = 0) -> CSRMatrix:
+def road_network(n: int, seed: SeedLike = 0) -> CSRMatrix:
     """Near-planar graph with degree ~2-3 (asia_osm / hugebubbles-like):
     a long path plus sparse chords to nearby nodes."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     idx = np.arange(n - 1, dtype=_I)
     rows = [idx, idx + 1]
     cols = [idx + 1, idx]
@@ -167,12 +206,12 @@ def road_network(n: int, seed: int = 0) -> CSRMatrix:
 
 
 def block_dense(
-    n: int, block_size: int, n_blocks: int | None = None, seed: int = 0,
+    n: int, block_size: int, n_blocks: int | None = None, seed: SeedLike = 0,
     background_avg: float = 2.0,
 ) -> CSRMatrix:
     """Sparse background with locally dense square blocks on the
     diagonal (TSOPF / power-flow structure: very long average rows)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     if n_blocks is None:
         n_blocks = max(1, n // (4 * block_size))
     rows_parts, cols_parts = [], []
@@ -184,7 +223,7 @@ def block_dense(
         keep = rng.random(rr.shape[0]) < 0.8
         rows_parts.append(rr[keep])
         cols_parts.append(cc[keep])
-    bg = random_uniform(n, n, background_avg, seed=seed + 1)
+    bg = random_uniform(n, n, background_avg, seed=derive_seed(seed, 1))
     from ..sparse.coo import COOMatrix as _C
 
     bg_coo = _C.from_csr(bg)
@@ -198,11 +237,11 @@ def long_row_matrix(
     avg_row_len: float,
     n_long_rows: int,
     long_row_len: int,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> CSRMatrix:
     """Very sparse matrix with a few extremely long rows (the regime of
     the paper's best-case speedups: ``language``, ``webbase-1M``)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     base = random_uniform(n, n, avg_row_len, seed=seed)
     long_rows = rng.choice(n, size=n_long_rows, replace=False).astype(_I)
     r_extra = np.repeat(long_rows, min(long_row_len, n))
@@ -221,11 +260,11 @@ def long_row_matrix(
 
 
 def bipartite_design(
-    rows: int, cols: int, row_len: int, seed: int = 0
+    rows: int, cols: int, row_len: int, seed: SeedLike = 0
 ) -> CSRMatrix:
     """Few rows, many columns, every row equally long (bibd-like
     combinatorial design; multiplied as A @ A.T in the benchmark)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     row_len = min(row_len, cols)
     c = np.concatenate(
         [rng.choice(cols, size=row_len, replace=False) for _ in range(rows)]
@@ -235,11 +274,11 @@ def bipartite_design(
 
 
 def lp_matrix(
-    rows: int, cols: int, avg_row_len: float, seed: int = 0
+    rows: int, cols: int, avg_row_len: float, seed: SeedLike = 0
 ) -> CSRMatrix:
     """Non-square linear-programming constraint matrix (stat96v2-like):
     wide, with moderately long structured rows."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     lengths = np.minimum(
         np.maximum(1, rng.poisson(avg_row_len, size=rows)), cols
     )
@@ -255,9 +294,9 @@ def lp_matrix(
     return _coo_to_csr(r, c.astype(_I), _values(rng, total), rows, cols)
 
 
-def diagonal_dominant(n: int, avg_off: float, seed: int = 0) -> CSRMatrix:
+def diagonal_dominant(n: int, avg_off: float, seed: SeedLike = 0) -> CSRMatrix:
     """Diagonal plus random off-diagonals (circuit simulation style)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     base = random_uniform(n, n, avg_off, seed=seed)
     from ..sparse.coo import COOMatrix as _C
 

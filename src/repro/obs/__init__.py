@@ -18,7 +18,10 @@ is engine-comparable and byte-deterministic:
 
 from .device import BlockEvent, BlockMeta, DeviceRecord, DeviceTrace
 from .export import (
+    parse_prometheus_text,
     perfetto_payload,
+    sanitize_label_name,
+    sanitize_metric_name,
     span_events,
     validate_perfetto,
     validate_perfetto_file,
@@ -56,6 +59,9 @@ __all__ = [
     "analyze_result",
     "render_html",
     "span_events",
+    "parse_prometheus_text",
+    "sanitize_label_name",
+    "sanitize_metric_name",
     "perfetto_payload",
     "write_perfetto",
     "validate_perfetto",

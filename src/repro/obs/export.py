@@ -1,4 +1,5 @@
-"""Perfetto / chrome://tracing export of the unified observability data.
+"""Exposition-format exports of the unified observability data:
+Perfetto / chrome://tracing JSON plus Prometheus text-format helpers.
 
 One payload merges two process rows:
 
@@ -19,6 +20,7 @@ property the old zero-duration clamp in ``to_chrome_trace`` violated.
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from .span import Span
@@ -29,7 +31,125 @@ __all__ = [
     "write_perfetto",
     "validate_perfetto",
     "validate_perfetto_file",
+    "sanitize_metric_name",
+    "sanitize_label_name",
+    "parse_prometheus_text",
 ]
+
+# ------------------------------------------------- Prometheus text format
+#
+# Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+# [a-zA-Z_][a-zA-Z0-9_]* (exposition format 0.0.4).  Names derived from
+# matrix identifiers ("ca-AstroPh", "webbase-1M", "uniform-a1.5-0")
+# contain '-' and '.' and would produce an unscrapable export, so every
+# name is sanitized at registration time; label *values* may carry any
+# character and are escaped instead.
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus metric name.
+
+    Every illegal character becomes ``_``; a leading digit gains a ``_``
+    prefix.  Legal names pass through unchanged, so the function is
+    idempotent.
+    """
+    name = str(name)
+    if _METRIC_NAME_RE.match(name):
+        return name
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus label name (idempotent)."""
+    name = str(name)
+    if _LABEL_NAME_RE.match(name):
+        return name
+    name = re.sub(r"[^a-zA-Z0-9_]", "_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition format 0.0.4 back into a structured document.
+
+    Returns ``{"samples": {name: [(labels_dict, value), ...]},
+    "types": {name: kind}, "help": {name: help}}``.  Used by the
+    round-trip tests to prove our exports are scrapable; raises
+    ``ValueError`` on any line a Prometheus scraper would reject.
+    """
+    samples: dict[str, list] = {}
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, doc = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad HELP name {name!r}")
+            helps[name] = doc
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad TYPE name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: bad TYPE kind {kind!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_LINE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        labels: dict[str, str] = {}
+        raw = m.group("labels")
+        if raw:
+            pos = 0
+            while pos < len(raw):
+                pair = _LABEL_PAIR_RE.match(raw, pos)
+                if pair is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels {raw!r} "
+                        f"(at offset {pos})"
+                    )
+                labels[pair.group("name")] = _unescape_label(
+                    pair.group("value")
+                )
+                pos = pair.end()
+                if pos < len(raw):
+                    if raw[pos] != ",":
+                        raise ValueError(
+                            f"line {lineno}: expected ',' in labels {raw!r}"
+                        )
+                    pos += 1
+        samples.setdefault(m.group("name"), []).append(
+            (labels, float(m.group("value")))
+        )
+    return {"samples": samples, "types": types, "help": helps}
 
 DEVICE_PID = 1
 SPAN_PID = 2

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gpu.counters import COUNTER_DOC
+from .export import sanitize_label_name, sanitize_metric_name
 
 __all__ = ["MetricsRegistry"]
 
@@ -50,11 +51,16 @@ def sample_key(name: str, labels: dict) -> str:
     """Canonical sample identity, identical to the Prometheus line head.
 
     ``repro_stage_cycles_total{stage="ESC"}`` — labels sorted by key.
+    Label *names* are sanitized to the exposition grammar (names derived
+    from matrix identifiers carry ``-``/``.``); label values only need
+    escaping.
     """
+    name = sanitize_metric_name(name)
     if not labels:
         return name
+    san = {sanitize_label_name(k): v for k, v in labels.items()}
     inner = ",".join(
-        f'{k}="{_escape_label(labels[k])}"' for k in sorted(labels)
+        f'{k}="{_escape_label(san[k])}"' for k in sorted(san)
     )
     return f"{name}{{{inner}}}"
 
@@ -84,6 +90,7 @@ class MetricsRegistry:
     # -- primitive updates -------------------------------------------
 
     def _family(self, name: str, kind: str, help: str) -> _Family:
+        name = sanitize_metric_name(name)
         fam = self._families.get(name)
         if fam is None:
             fam = _Family(name=name, kind=kind, help=help)
@@ -131,7 +138,7 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels):
         """Read one sample (raises ``KeyError`` when absent)."""
-        fam = self._families[name]
+        fam = self._families[sanitize_metric_name(name)]
         return fam.samples[sample_key(name, {**self.const_labels, **labels})]
 
     # -- aggregation of pipeline results ------------------------------

@@ -1,0 +1,319 @@
+"""Tests for the sharded, resumable campaign runner."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ResultCache, default_cache, run_case
+from repro.bench.harness import CACHE_VERSION, MatrixCase
+from repro.campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignRunner,
+    ShardWriter,
+    campaign_records,
+    cell_key,
+    config_entries,
+    enumerate_cells,
+    execute_cell,
+    load_completed,
+    matrix_fingerprint,
+    read_shard_lines,
+    tiny_entries,
+)
+
+TINY2 = CampaignConfig(suite="tiny", limit=2)  # 2 matrices x 6 algs = 12 cells
+
+
+# ------------------------------------------------------------------- plan
+
+
+class TestPlan:
+    def test_suite_and_cell_enumeration(self):
+        cells = enumerate_cells(TINY2)
+        entries = config_entries(TINY2)
+        assert len(entries) == 2
+        assert len(cells) == 12
+        # canonical sweep nesting: matrices outer, then dtypes, then algs
+        assert [c.index for c in cells] == list(range(12))
+        assert cells[0].matrix == entries[0].name
+        assert cells[6].matrix == entries[1].name
+        assert len({c.id for c in cells}) == 12
+
+    def test_config_validation(self):
+        with pytest.raises(CampaignError):
+            CampaignConfig(suite="nope")
+        with pytest.raises(CampaignError):
+            CampaignConfig(algorithms=("warp9",))
+        with pytest.raises(CampaignError):
+            CampaignConfig(dtypes=("float16",))
+        with pytest.raises(CampaignError):
+            CampaignConfig(retries=-1)
+
+    def test_config_roundtrip(self):
+        cfg = CampaignConfig(
+            suite="tiny", limit=3, dtypes=("float32", "float64"),
+            engine="batched", retries=2,
+        )
+        assert CampaignConfig.from_json(cfg.to_json()) == cfg
+
+    def test_matrix_fingerprint_content_sensitivity(self):
+        entries = tiny_entries()
+        m = entries[0].build()
+        assert matrix_fingerprint(m) == matrix_fingerprint(entries[0].build())
+        assert matrix_fingerprint(m) != matrix_fingerprint(entries[1].build())
+
+    def test_cell_key_binds_content_and_options(self):
+        cells = enumerate_cells(TINY2)
+        k = cell_key(cells[0], "fp0", TINY2)
+        assert k == cell_key(cells[0], "fp0", TINY2)
+        assert k != cell_key(cells[0], "fp1", TINY2)  # matrix changed
+        assert k != cell_key(cells[1], "fp0", TINY2)  # algorithm changed
+        assert k != cell_key(cells[0], "fp0", TINY2.with_(verify=True))
+        assert k != cell_key(cells[0], "fp0", TINY2.with_(engine="batched"))
+
+    def test_plan_pin_rejects_different_config(self, tmp_path):
+        CampaignRunner(tmp_path, TINY2).run()
+        other = TINY2.with_(limit=1)
+        with pytest.raises(CampaignError, match="different plan"):
+            CampaignRunner(tmp_path, other).run()
+
+
+# ------------------------------------------------------------------ store
+
+
+class TestStore:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        w = ShardWriter(tmp_path, 0)
+        w.append({"id": "a", "key": "k1", "status": "ok"})
+        w.close()
+        with open(w.path, "a") as fh:
+            fh.write('{"id": "b", "key": "k2", "st')  # killed mid-write
+        lines = read_shard_lines(w.path)
+        assert [ln["id"] for ln in lines] == ["a"]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        p = tmp_path / "shard-00.jsonl"
+        p.write_text('{"id": "a", "key"\n{"id": "b", "key": "k2"}\n')
+        with pytest.raises(CampaignError, match="corrupt checkpoint"):
+            read_shard_lines(p)
+
+    def test_load_completed_ignores_stale_keys(self, tmp_path):
+        w = ShardWriter(tmp_path, 0)
+        w.append({"id": "a", "key": "old", "status": "ok"})
+        w.append({"id": "b", "key": "kb", "status": "ok"})
+        w.close()
+        got = load_completed(tmp_path, {"a": "new", "b": "kb"})
+        assert list(got) == ["b"]
+
+    def test_conflicting_duplicate_outcomes_raise(self, tmp_path):
+        w0 = ShardWriter(tmp_path, 0)
+        w0.append({"id": "a", "key": "ka", "status": "ok"})
+        w0.close()
+        w1 = ShardWriter(tmp_path, 1)
+        w1.append({"id": "a", "key": "ka", "status": "failed"})
+        w1.close()
+        with pytest.raises(CampaignError, match="conflicting"):
+            load_completed(tmp_path, {"a": "ka"})
+
+
+# ------------------------------------------------------------- execution
+
+
+class TestExecution:
+    def test_inline_run_merges_records_in_plan_order(self, tmp_path):
+        result = CampaignRunner(tmp_path, TINY2).run()
+        assert result.stats["cells"] == 12
+        assert result.stats["executed"] == 12
+        assert not result.failed_cells
+        recs = result.records()
+        cells = enumerate_cells(TINY2)
+        assert [(r.matrix, r.algorithm, r.dtype) for r in recs] == [
+            (c.matrix, c.algorithm, c.dtype) for c in cells
+        ]
+        art = json.loads((tmp_path / "campaign.json").read_text())
+        assert art["cache_version"] == CACHE_VERSION
+        assert art["n_cells"] == 12
+        # execution details never leak into the artifact
+        assert "worker" not in art["cells"][0]
+        assert "t_host" not in art["cells"][0]
+
+    def test_rerun_resumes_everything(self, tmp_path):
+        CampaignRunner(tmp_path, TINY2).run()
+        before = (tmp_path / "campaign.json").read_bytes()
+        again = CampaignRunner(tmp_path, TINY2).run()
+        assert again.stats["resumed"] == 12
+        assert again.stats["executed"] == 0
+        assert (tmp_path / "campaign.json").read_bytes() == before
+
+    def test_two_workers_byte_identical_to_inline(self, tmp_path):
+        a = CampaignRunner(tmp_path / "w1", TINY2, workers=1).run()
+        b = CampaignRunner(tmp_path / "w2", TINY2, workers=2).run()
+        assert b.stats["workers"] == 2
+        assert (
+            a.artifact_path.read_bytes() == b.artifact_path.read_bytes()
+        )
+
+    def test_cache_seeding_and_foldback(self, tmp_path):
+        cache = default_cache(tmp_path)
+        entries = config_entries(TINY2)
+        case = MatrixCase(entries[0].name, entries[0].build())
+        for alg in TINY2.algorithms:
+            cache.get_or_run(case, alg, verify=False)
+        cache.save()
+        result = CampaignRunner(
+            tmp_path / "camp", TINY2, cache_path=cache.path
+        ).run()
+        assert result.stats["seeded"] == 6
+        assert result.stats["executed"] == 6
+        # seeded artifact matches a cold, cacheless run byte for byte
+        cold = CampaignRunner(tmp_path / "cold", TINY2).run()
+        assert (
+            result.artifact_path.read_bytes()
+            == cold.artifact_path.read_bytes()
+        )
+        # fresh records were folded back into the shared cache
+        folded = ResultCache(cache.path)
+        assert len(folded) == 12
+
+    def test_campaign_records_helper(self, tmp_path):
+        recs = campaign_records(tmp_path, TINY2)
+        assert len(recs) == 12
+        assert recs[0].gflops > 0
+
+
+# --------------------------------------------------- retries / failures
+
+
+class TestRetries:
+    @staticmethod
+    def _cell_and_case():
+        entries = tiny_entries()
+        case = MatrixCase(entries[0].name, entries[0].build())
+        cell = enumerate_cells(CampaignConfig(suite="tiny", limit=1))[0]
+        return case, cell
+
+    def test_flaky_cell_is_retried(self):
+        case, cell = self._cell_and_case()
+        config = CampaignConfig(suite="tiny", limit=1, retries=2)
+        calls = {"n": 0}
+
+        def flaky(case, alg, dtype, *, verify):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return run_case(case, alg, dtype, verify=verify)
+
+        line = execute_cell(
+            case, cell, config, key="k", worker=0, runner=flaky
+        )
+        assert line["status"] == "retried"
+        assert line["attempts"] == 3
+        assert line["record"] is not None
+        assert line["error"] is None
+
+    def test_exhausted_budget_records_failure(self):
+        case, cell = self._cell_and_case()
+        config = CampaignConfig(suite="tiny", limit=1, retries=1)
+
+        def broken(case, alg, dtype, *, verify):
+            raise RuntimeError("deterministic crash")
+
+        line = execute_cell(
+            case, cell, config, key="k", worker=0, runner=broken
+        )
+        assert line["status"] == "failed"
+        assert line["attempts"] == 2
+        assert line["record"] is None
+        assert line["error"]["kind"] == "RuntimeError"
+        assert "deterministic crash" in line["error"]["message"]
+
+    def test_records_refuses_failed_cells_by_default(self, tmp_path):
+        result = CampaignRunner(tmp_path, TINY2).run()
+        bad = dict(result.completed[result.cells[0].id])
+        bad["status"] = "failed"
+        bad["record"] = None
+        result.completed[result.cells[0].id] = bad
+        with pytest.raises(CampaignError, match="failed"):
+            result.records()
+        assert len(result.records(allow_failed=True)) == 11
+
+
+# ------------------------------------------------------------- metrics
+
+
+class TestMetrics:
+    def test_campaign_metrics_roundtrip(self, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        result = CampaignRunner(tmp_path, TINY2).run()
+        text = result.metrics.to_prometheus()
+        parsed = parse_prometheus_text(text)
+        totals = parsed["samples"]["repro_campaign_cells_total"]
+        assert sum(v for _, v in totals) == 12
+        # matrix names (with dashes) survive as label *values*
+        per_matrix = parsed["samples"]["repro_campaign_matrix_seconds_total"]
+        assert {lbl["matrix"] for lbl, _ in per_matrix} == {
+            e.name for e in config_entries(TINY2)
+        }
+        hit = parsed["samples"]["repro_campaign_cache_hit_ratio"]
+        assert hit[0][1] == 0.0
+
+
+# ---------------------------------------------------------- kill/resume
+
+
+class TestKillResume:
+    def test_sigkill_mid_sweep_then_resume_byte_identical(self, tmp_path):
+        """Satellite 5: SIGKILL a 2-worker campaign mid-sweep, rerun,
+        and the merged artifact is byte-identical to an uninterrupted
+        run, with every pre-kill cell served from the checkpoints."""
+        camp = tmp_path / "interrupted"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        old = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + old if old else "")
+        cmd = [
+            sys.executable, "-m", "repro.cli", "campaign",
+            "--suite", "tiny", "--workers", "2",
+            "--throttle", "0.25", "--dir", str(camp), "--quiet",
+        ]
+        proc = subprocess.Popen(
+            cmd, env=env, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            n_prekill = 0
+            while time.monotonic() < deadline:
+                shards = list((camp / "shards").glob("*.jsonl"))
+                n_prekill = sum(
+                    len(read_shard_lines(p)) for p in shards
+                )
+                if n_prekill >= 6:
+                    break
+                time.sleep(0.1)
+        finally:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        assert 0 < n_prekill < 36, "kill must land mid-sweep"
+        assert not (camp / "campaign.json").exists()
+
+        config = CampaignConfig(suite="tiny")
+        resumed = CampaignRunner(camp, config, workers=2).run()
+        # >= 90% of the checkpointed cells come back from the shards
+        assert resumed.stats["resumed"] >= 0.9 * n_prekill
+        assert (
+            resumed.stats["resumed"] + resumed.stats["executed"] == 36
+        )
+        clean = CampaignRunner(tmp_path / "clean", config).run()
+        assert (
+            resumed.artifact_path.read_bytes()
+            == clean.artifact_path.read_bytes()
+        )

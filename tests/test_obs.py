@@ -166,6 +166,84 @@ class TestMetricsRegistry:
             reg.to_prometheus()
 
 
+class TestPrometheusSanitization:
+    """Satellite: metric/label names derived from matrix names (which
+    contain ``-`` and ``.``, e.g. ca-AstroPh, uniform-a1.5-0) must be
+    legal in the exposition, with label *values* preserved verbatim."""
+
+    def test_sanitize_metric_name(self):
+        from repro.obs import sanitize_metric_name
+
+        assert sanitize_metric_name("repro_ca-AstroPh.gflops") == (
+            "repro_ca_AstroPh_gflops"
+        )
+        assert sanitize_metric_name("x_total") == "x_total"  # untouched
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+        assert sanitize_metric_name("1shot") == "_1shot"  # digit prefix
+        dirty = "uniform-a1.5-0"
+        assert sanitize_metric_name(
+            sanitize_metric_name(dirty)
+        ) == sanitize_metric_name(dirty)  # idempotent
+
+    def test_sanitize_label_name(self):
+        from repro.obs import sanitize_label_name
+
+        assert sanitize_label_name("row-length") == "row_length"
+        assert sanitize_label_name("ns:lbl") == "ns_lbl"  # no colons here
+        assert sanitize_label_name("matrix") == "matrix"
+
+    def test_registry_sanitizes_on_the_way_in(self):
+        reg = MetricsRegistry()
+        reg.inc("gflops.ca-AstroPh", 2, **{"split": "sparse"})
+        text = reg.to_prometheus()
+        assert "gflops_ca_AstroPh" in text
+        assert "ca-AstroPh.gflops" not in text
+        # lookup works with either spelling
+        assert reg.value("gflops_ca_AstroPh", split="sparse") == 2
+        assert reg.value("gflops.ca-AstroPh", split="sparse") == 2
+        assert_prometheus_parseable(text)
+
+    def test_exposition_round_trip(self):
+        from repro.obs import parse_prometheus_text
+
+        reg = MetricsRegistry(const_labels={"suite": "named"})
+        for m, v in (("ca-AstroPh", 1.25), ("uniform-a1.5-0", 3.5)):
+            reg.set(
+                "repro_matrix_gflops", v,
+                help="Per-matrix GFLOPS.", matrix=m,
+            )
+        reg.inc("repro_cells_total", 7, help="Cells.")
+        parsed = parse_prometheus_text(reg.to_prometheus())
+        assert parsed["types"]["repro_matrix_gflops"] == "gauge"
+        assert parsed["help"]["repro_cells_total"] == "Cells."
+        samples = parsed["samples"]["repro_matrix_gflops"]
+        by_matrix = {lbl["matrix"]: v for lbl, v in samples}
+        # dashes and dots survive in label values, untouched
+        assert by_matrix == {"ca-AstroPh": 1.25, "uniform-a1.5-0": 3.5}
+        assert all(lbl["suite"] == "named" for lbl, _ in samples)
+        assert parsed["samples"]["repro_cells_total"] == [
+            ({"suite": "named"}, 7.0)
+        ]
+
+    def test_round_trip_escaped_label_values(self):
+        from repro.obs import parse_prometheus_text
+
+        reg = MetricsRegistry()
+        tricky = 'we"ird\\label\nx'
+        reg.inc("x_total", 1, lbl=tricky)
+        parsed = parse_prometheus_text(reg.to_prometheus())
+        (labels, value), = parsed["samples"]["x_total"]
+        assert labels["lbl"] == tricky and value == 1.0
+
+    def test_parser_rejects_malformed_lines(self):
+        from repro.obs import parse_prometheus_text
+
+        with pytest.raises(ValueError):
+            parse_prometheus_text("bad-metric-name 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text('x_total{unclosed="v 1\n')
+
+
 PROM_LINE = re.compile(
     r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
     r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9eE.+-]*)$"
