@@ -1,19 +1,26 @@
 """Host wall-clock comparison of the execution engines.
 
-Runs ``reference``, ``batched`` and ``parallel`` on a cross-section of
-the suite, verifies that every engine produces bit-identical results and
-identical simulated statistics, and reports the host-side speedups.
+Runs ``reference``, ``batched``, ``parallel`` and ``process`` on a
+cross-section of the suite, verifies that every engine produces
+bit-identical results and identical simulated statistics, and reports
+the host-side speedups.  The payload also carries a span-attributed
+host hotspot table (top span names by host seconds, joined with their
+simulated cycles) so a regression in host time points at the span that
+grew, and gates the geometric-mean speedups against the targets in
+:data:`repro.bench.wallclock.SPEEDUP_TARGETS` — the batched floor in
+full mode, the parallel floor only on multi-core hosts.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out BENCH_pr1.json]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke] [--out BENCH_pr6.json]
     PYTHONPATH=src python benchmarks/bench_wallclock.py --trace-overhead [--out BENCH_pr4.json]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --hotspots [--engine batched]
 
 ``--trace-overhead`` switches the quantity of interest from engine
 speedup to the host cost of the opt-in device trace: every engine runs
 each case with ``device_trace`` off and on, and the payload gates the
 on/off ratio at the 10% budget (plus byte-identity of the trace across
-engines).
+engines).  ``--hotspots`` prints only the hotspot table for one engine.
 
 Unlike the figure benches this is a plain script (no pytest-benchmark):
 the quantity of interest is host seconds, measured directly.
@@ -28,10 +35,27 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.wallclock import (  # noqa: E402
+    run_hotspots,
     run_trace_overhead,
     run_wallclock,
     write_payload,
 )
+
+
+def _print_hotspots(hot: dict) -> None:
+    print(
+        f"host hotspots ({hot['mode']}, engine={hot['engine']}, "
+        f"{hot['total_host_seconds'] * 1e3:.1f} ms total):"
+    )
+    print(f"  {'span':20s} {'calls':>7s} {'host ms':>9s} {'sim cycles':>14s}")
+    for row in hot["top_spans"]:
+        print(
+            f"  {row['span']:20s} {row['calls']:7d}"
+            f" {row['host_seconds'] * 1e3:9.1f}"
+            f" {row['sim_cycles']:14.0f}"
+        )
+    if hot["other_host_seconds"]:
+        print(f"  (other spans: {hot['other_host_seconds'] * 1e3:.1f} ms)")
 
 
 def main(argv=None) -> int:
@@ -51,7 +75,22 @@ def main(argv=None) -> int:
         "--trace-overhead", action="store_true",
         help="measure device-trace host overhead instead of engine speedup",
     )
+    parser.add_argument(
+        "--hotspots", action="store_true",
+        help="print only the span-attributed host hotspot table",
+    )
+    parser.add_argument(
+        "--engine", default="batched",
+        help="engine for the --hotspots table (default: batched)",
+    )
     args = parser.parse_args(argv)
+
+    if args.hotspots:
+        hot = run_hotspots(smoke=args.smoke, engine=args.engine)
+        _print_hotspots(hot)
+        if args.out:
+            print(f"wrote {write_payload(hot, args.out)}")
+        return 0
 
     if args.trace_overhead:
         payload = run_trace_overhead(smoke=args.smoke, repeats=args.repeats)
@@ -83,9 +122,13 @@ def main(argv=None) -> int:
         return 0
 
     payload = run_wallclock(smoke=args.smoke, repeats=args.repeats)
+    payload["hotspots"] = run_hotspots(smoke=args.smoke, engine=args.engine)
     path = write_payload(payload, args.out or "BENCH_pr1.json")
 
-    print(f"engine wall-clock bench ({payload['mode']}):")
+    print(
+        f"engine wall-clock bench ({payload['mode']}, "
+        f"{payload['cpu_count']} cpu):"
+    )
     for row in payload["cases"]:
         ref = row["seconds"]["reference"]
         line = f"  {row['case']:24s} ref {ref * 1e3:8.1f} ms"
@@ -96,11 +139,31 @@ def main(argv=None) -> int:
             line += f" | {eng} {s * 1e3:8.1f} ms ({row['speedup'][eng]:.2f}x){mark}"
         print(line)
     for eng, g in payload["geomean_speedup"].items():
-        print(f"geomean speedup {eng}: {g:.2f}x")
+        target = payload["speedup_targets"].get(eng)
+        gate = (
+            f" (target {target:.1f}x"
+            f"{', enforced' if eng in payload['targets_enforced'] else ''})"
+            if target
+            else ""
+        )
+        print(f"geomean speedup {eng}: {g:.2f}x{gate}")
+    _print_hotspots(payload["hotspots"])
     print(f"wrote {path}")
 
     if not payload["all_identical"]:
         print("ERROR: engines disagree with the reference", file=sys.stderr)
+        return 1
+    if not payload["within_targets"]:
+        print(
+            "ERROR: geomean speedup below target for: "
+            + ", ".join(
+                e
+                for e in payload["targets_enforced"]
+                if payload["geomean_speedup"][e]
+                < payload["speedup_targets"][e]
+            ),
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -45,7 +45,8 @@ def full_records(cache):
     """The complete sweep: (suite + named) x GPU line-up x {float32,
     float64}, executed as a resumable campaign.  Correctness is covered
     by the test suite, so the sweep skips per-cell verification."""
-    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    workers = (os.cpu_count() or 1) if raw == "auto" else int(raw)
     config = CampaignConfig(
         suite="full", dtypes=("float32", "float64"), verify=False
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,16 +31,25 @@ from ..matrices.generators import (
     power_law,
     random_uniform,
 )
+from ..obs.span import host_span_profile
 from ..sparse.stats import squared_operands
 
 __all__ = [
     "WallclockCase",
     "wallclock_cases",
     "run_wallclock",
+    "run_hotspots",
     "run_trace_overhead",
 ]
 
-DEFAULT_ENGINES = ("reference", "batched", "parallel")
+DEFAULT_ENGINES = ("reference", "batched", "parallel", "process")
+
+#: geometric-mean host-speedup floors over the reference engine.  The
+#: batched floor holds unconditionally on the full case set; the
+#: parallel floor only where parallelism exists to pay for the dispatch
+#: (``os.cpu_count() >= 2`` — on one core the thread/process machinery
+#: can only break even at best, so the bench reports but does not gate).
+SPEEDUP_TARGETS = {"batched": 3.5, "parallel": 1.5}
 
 
 def tune_allocator() -> bool:
@@ -194,17 +204,84 @@ def run_wallclock(
         e: (math.exp(sum(math.log(x) for x in xs) / len(xs)) if xs else 0.0)
         for e, xs in speedups.items()
     }
+    # the speedup claim is made on the full case set; smoke shrinks the
+    # matrices until fixed overheads dominate, so smoke mode reports the
+    # targets without gating on them.  The parallel target additionally
+    # needs real cores to pay for its dispatch machinery.
+    cpu_count = os.cpu_count() or 1
+    enforced = {
+        e: t
+        for e, t in SPEEDUP_TARGETS.items()
+        if e in geomean and not smoke and (e == "batched" or cpu_count >= 2)
+    }
     return {
         "bench": "engine-wallclock",
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,
         "allocator_tuned": tuned,
+        "cpu_count": cpu_count,
         "engines": list(engines),
         "cases": rows,
         "all_identical": all(
             ok for r in rows for ok in r["identical"].values()
         ),
         "geomean_speedup": geomean,
+        "speedup_targets": dict(SPEEDUP_TARGETS),
+        "targets_enforced": sorted(enforced),
+        "within_targets": all(geomean[e] >= t for e, t in enforced.items()),
+    }
+
+
+def run_hotspots(
+    smoke: bool = False,
+    engine: str = "batched",
+    top: int = 10,
+) -> dict:
+    """Span-attributed host hotspot table for one engine.
+
+    Runs every case once under :func:`~repro.obs.span.host_span_profile`
+    and joins the resulting per-span host seconds with the simulated
+    cycles each span name accumulates in the (engine-invariant) span
+    tree.  The result answers the optimisation question directly: a
+    span whose share of host seconds dwarfs its share of simulated
+    cycles is pure host overhead — that is where the next fast path
+    goes.  ``top`` bounds the table to the heaviest span names by host
+    seconds; anything dropped is summed under ``other_host_seconds`` so
+    the table never silently hides cost.
+    """
+    tuned = tune_allocator()
+    cases = wallclock_cases(smoke)
+    sim_cycles: dict[str, float] = {}
+    with host_span_profile() as prof:
+        t0 = time.perf_counter()
+        for case in cases:
+            opts = AcSpgemmOptions(
+                value_dtype=np.dtype(case.dtype), engine=engine
+            )
+            result = ac_spgemm(case.a, case.b, opts)
+            for s in result.spans.walk():
+                sim_cycles[s.name] = sim_cycles.get(s.name, 0.0) + s.duration
+        total = time.perf_counter() - t0
+    rows = [
+        {
+            "span": name,
+            "calls": ent["calls"],
+            "host_seconds": ent["host_seconds"],
+            "sim_cycles": sim_cycles.get(name, 0.0),
+        }
+        for name, ent in prof.table().items()
+    ]
+    rows.sort(key=lambda r: (-r["host_seconds"], r["span"]))
+    kept, dropped = rows[:top], rows[top:]
+    return {
+        "bench": "host-hotspots",
+        "mode": "smoke" if smoke else "full",
+        "engine": engine,
+        "allocator_tuned": tuned,
+        "total_host_seconds": total,
+        "attributed_host_seconds": sum(r["host_seconds"] for r in rows),
+        "top_spans": kept,
+        "other_host_seconds": sum(r["host_seconds"] for r in dropped),
     }
 
 

@@ -99,13 +99,21 @@ class CampaignRunner:
         directory: str | Path,
         config: CampaignConfig,
         *,
-        workers: int = 1,
+        workers: int | str = 1,
         cache_path: str | Path | None = None,
         progress=None,
         throttle: float = 0.0,
     ) -> None:
-        if workers < 1:
-            raise CampaignError("workers must be >= 1")
+        import os
+
+        self.workers_requested = workers
+        if workers == "auto":
+            # resolved at invocation time, per machine — the frozen plan
+            # carries no runtime knobs, so "auto" never perturbs resume
+            # or the merged artifact
+            workers = os.cpu_count() or 1
+        if not isinstance(workers, int) or workers < 1:
+            raise CampaignError("workers must be >= 1 or 'auto'")
         self.directory = Path(directory)
         self.config = config
         self.workers = workers
@@ -139,12 +147,77 @@ class CampaignRunner:
 
         Builds each matrix once (construction only — operands and
         product statistics stay lazy, so a fully resumed campaign
-        never pays for them).
+        never pays for them).  The built matrices are retained on the
+        runner: sharded execution places them in shared memory so the
+        worker processes map them instead of rebuilding per worker.
         """
         fps = {}
+        self._built: dict[str, object] = {}
         for entry in config_entries(self.config):
-            fps[entry.name] = matrix_fingerprint(entry.build())
+            m = entry.build()
+            self._built[entry.name] = m
+            fps[entry.name] = matrix_fingerprint(m)
         return fps
+
+    def _export_operands(self, remaining: list[CellSpec]):
+        """Place the matrices the remaining cells touch in shared memory.
+
+        Returns ``(metas, handles)``: the picklable per-matrix
+        attachment descriptors (with the already-computed fingerprint,
+        so workers skip both the rebuild and the re-hash) and the owner
+        handles to release once the workers are done.  Setting
+        ``REPRO_CAMPAIGN_OPERANDS=rebuild`` restores the legacy
+        rebuild-from-seed path (the determinism cross-check in CI runs
+        both and compares artifacts byte for byte).
+        """
+        import os
+
+        if os.environ.get("REPRO_CAMPAIGN_OPERANDS", "").strip() == "rebuild":
+            return None, []
+        from ..engine.shm import SharedCSR
+
+        order = self._segment_names()
+        metas: dict[str, dict] = {}
+        handles = []
+        for name in sorted({c.matrix for c in remaining}):
+            matrix = self._built.get(name)
+            fp = self._last_fps.get(name)
+            if matrix is None or fp is None:
+                continue
+            h = SharedCSR.export(matrix, name=order[name])
+            handles.append(h)
+            metas[name] = {"shm": h.meta(), "fingerprint": fp}
+        return metas, handles
+
+    def _segment_names(self) -> dict[str, str]:
+        """Deterministic shared-memory segment name per plan matrix.
+
+        Derived from the campaign directory and the pinned plan: a
+        SIGKILLed invocation takes its resource tracker down with it and
+        leaks its segments, so the *next* invocation of the same
+        campaign must be able to enumerate — and reclaim — every name
+        the killed one could have created.
+        """
+        import hashlib
+
+        base = hashlib.blake2b(
+            (str(self.directory.resolve()) + plan_document(self.config)).encode(),
+            digest_size=6,
+        ).hexdigest()
+        names = sorted(e.name for e in config_entries(self.config))
+        return {name: f"repro_{base}_{i}" for i, name in enumerate(names)}
+
+    def _sweep_segments(self) -> None:
+        """Unlink every segment this campaign could have left behind."""
+        from multiprocessing import shared_memory
+
+        for seg in self._segment_names().values():
+            try:
+                stale = shared_memory.SharedMemory(name=seg)
+            except FileNotFoundError:
+                continue
+            stale.unlink()
+            stale.close()
 
     # -- cache seeding ------------------------------------------------
 
@@ -236,6 +309,7 @@ class CampaignRunner:
             work.put(cell.index)
         for _ in range(n):
             work.put(None)
+        operand_metas, operand_handles = self._export_operands(remaining)
         procs = [
             ctx.Process(
                 target=worker_main,
@@ -245,6 +319,7 @@ class CampaignRunner:
                     self.config.to_json(),
                     work,
                     self.throttle,
+                    operand_metas,
                 ),
             )
             for w in range(n)
@@ -269,6 +344,13 @@ class CampaignRunner:
                 if p.is_alive():
                     p.terminate()
             raise
+        finally:
+            # the owner unlinks unconditionally, and the sweep also
+            # reclaims segments a previous SIGKILLed invocation leaked
+            # for matrices this one never re-exported
+            for h in operand_handles:
+                h.close()
+            self._sweep_segments()
         bad = [p.exitcode for p in procs if p.exitcode != 0]
         if bad:
             raise CampaignError(
@@ -284,6 +366,7 @@ class CampaignRunner:
         self.directory.mkdir(parents=True, exist_ok=True)
         self._pin_plan()
         fps = self._fingerprints()
+        self._last_fps = fps
         expected_keys = {
             c.id: cell_key(c, fps[c.matrix], self.config) for c in self.cells
         }
@@ -309,6 +392,7 @@ class CampaignRunner:
             "executed": executed,
             "wall_seconds": wall,
             "workers": self.workers,
+            "workers_requested": self.workers_requested,
         }
         metrics = self._build_metrics(completed, stats)
         return CampaignResult(
@@ -389,7 +473,8 @@ class CampaignRunner:
         reg.set(
             "repro_campaign_workers",
             stats["workers"],
-            help="Worker processes of this invocation.",
+            help="Resolved worker processes of this invocation "
+            "(the count 'auto' expanded to, not the request).",
         )
         busy: dict[str, float] = {}
         per_matrix: dict[str, float] = {}

@@ -113,21 +113,27 @@ def worker_main(
     config_json: dict,
     work_queue,
     throttle: float = 0.0,
+    operands: dict | None = None,
 ) -> None:
     """Entry point of one campaign worker process.
 
     Pulls cell indices from ``work_queue`` until it sees ``None``.
-    Matrices (and their lazily computed operands) are built on demand
-    and memoised per worker, so a worker only ever pays for the
-    matrices its cells actually touch.  ``throttle`` is a runtime test
-    hook (a sleep after each cell so kill/resume tests can interrupt a
-    campaign deterministically); it never enters the plan or artifact.
+    ``operands`` maps matrix names to shared-memory attachment
+    descriptors (plus the parent-computed fingerprint): the runner
+    builds every matrix exactly once and the workers map it zero-copy.
+    Matrices absent from ``operands`` — or all of them, when the runner
+    runs with ``REPRO_CAMPAIGN_OPERANDS=rebuild`` — are rebuilt from
+    the deterministic seeded generators as before, on demand and
+    memoised per worker.  ``throttle`` is a runtime test hook (a sleep
+    after each cell so kill/resume tests can interrupt a campaign
+    deterministically); it never enters the plan or artifact.
     """
     config = CampaignConfig.from_json(config_json)
     cells = enumerate_cells(config)
     entries = {e.name: e for e in config_entries(config)}
     cases: dict[str, MatrixCase] = {}
     fingerprints: dict[str, str] = {}
+    mappings = []  # SharedCSR handles kept alive while their views are
     writer = ShardWriter(directory, worker)
     try:
         while True:
@@ -140,12 +146,26 @@ def worker_main(
             cell = cells[index]
             case = cases.get(cell.matrix)
             if case is None:
-                entry = entries[cell.matrix]
-                case = MatrixCase(
-                    entry.name, entry.build(), family=entry.family
-                )
+                placed = (operands or {}).get(cell.matrix)
+                if placed is not None:
+                    from ..engine.shm import SharedCSR
+
+                    handle = SharedCSR.attach(placed["shm"])
+                    mappings.append(handle)
+                    entry = entries[cell.matrix]
+                    case = MatrixCase(
+                        cell.matrix, handle.matrix(), family=entry.family
+                    )
+                    fingerprints[cell.matrix] = placed["fingerprint"]
+                else:
+                    entry = entries[cell.matrix]
+                    case = MatrixCase(
+                        entry.name, entry.build(), family=entry.family
+                    )
+                    fingerprints[cell.matrix] = matrix_fingerprint(
+                        case.matrix
+                    )
                 cases[cell.matrix] = case
-                fingerprints[cell.matrix] = matrix_fingerprint(case.matrix)
             line = execute_cell(
                 case,
                 cell,
@@ -158,3 +178,5 @@ def worker_main(
                 time.sleep(throttle)
     finally:
         writer.close()
+        for handle in mappings:
+            handle.close()

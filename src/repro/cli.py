@@ -59,6 +59,18 @@ CSV_HEADERS = [
 ]
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an integer or ``auto`` (one per core)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _run_one(
     name: str,
     matrix,
@@ -361,7 +373,7 @@ def main(argv=None) -> int:
                    help="confirm against the CPU reference (artifact A.6)")
     p.add_argument("--float", action="store_true", help="single precision")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"),
+                   choices=("reference", "batched", "parallel", "process"),
                    help="host execution engine (identical results/stats)")
     p.add_argument("--sanitize", action="store_true",
                    help="check pipeline invariants at stage boundaries")
@@ -375,7 +387,7 @@ def main(argv=None) -> int:
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"))
+                   choices=("reference", "batched", "parallel", "process"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_runall)
@@ -386,7 +398,7 @@ def main(argv=None) -> int:
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"))
+                   choices=("reference", "batched", "parallel", "process"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_suite)
@@ -399,7 +411,7 @@ def main(argv=None) -> int:
                    help="matrix file path, or suite:NAME for a suite entry")
     p.add_argument("--float", action="store_true", help="single precision")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"))
+                   choices=("reference", "batched", "parallel", "process"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.add_argument("--trace-out", default=None,
@@ -418,7 +430,7 @@ def main(argv=None) -> int:
                    help="matrix file path, or suite:NAME for a suite entry")
     p.add_argument("--float", action="store_true", help="single precision")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"))
+                   choices=("reference", "batched", "parallel", "process"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true",
                    help="degrade on failure (trace gets a truncation marker)")
@@ -445,8 +457,9 @@ def main(argv=None) -> int:
                         "figure 9-12 population)")
     p.add_argument("--limit", type=int, default=None,
                    help="only the first N matrices of the collection")
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (1 = inline execution)")
+    p.add_argument("--workers", type=_workers_arg, default=1,
+                   help="worker processes (1 = inline execution, "
+                        "'auto' = one per CPU core)")
     p.add_argument("--dir", default="results/campaign",
                    help="campaign directory (plan, shards, artifact)")
     p.add_argument("--algorithms", default=None,
@@ -454,7 +467,7 @@ def main(argv=None) -> int:
     p.add_argument("--dtypes", default="float64",
                    choices=("float32", "float64", "both"))
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel"))
+                   choices=("reference", "batched", "parallel", "process"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true",
                    help="degrade failing cells to global ESC instead of "

@@ -88,9 +88,10 @@ class AcSpgemmOptions:
     #: host execution engine for the block-level stages: ``"reference"``
     #: steps one simulated block at a time, ``"batched"`` fuses all ready
     #: blocks of a launch into flat numpy batches, ``"parallel"`` runs
-    #: blocks on a thread pool.  All three produce bit-identical results
-    #: and identical simulated cycles/counters; only host wall-clock
-    #: differs (see ``repro.engine``).
+    #: blocks on a thread pool, ``"process"`` pins ESC rounds to warm
+    #: worker processes fed via shared memory.  All engines produce
+    #: bit-identical results and identical simulated cycles/counters;
+    #: only host wall-clock differs (see ``repro.engine``).
     engine: str = "reference"
     #: check pipeline invariants (pool bookkeeping, chunk linkage, row
     #: coverage) at every stage boundary; violations raise
@@ -117,10 +118,10 @@ class AcSpgemmOptions:
         object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
         if self.value_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError("value_dtype must be float32 or float64")
-        if self.engine not in ("reference", "batched", "parallel"):
+        if self.engine not in ("reference", "batched", "parallel", "process"):
             raise ValueError(
                 f"unknown engine {self.engine!r}; "
-                "expected 'reference', 'batched' or 'parallel'"
+                "expected 'reference', 'batched', 'parallel' or 'process'"
             )
         if self.multi_merge_max_chunks < 2:
             raise ValueError("multi_merge_max_chunks must be at least 2")

@@ -24,6 +24,11 @@ That makes the *host execution strategy* pluggable:
     shadow objects and committed serially in block order so pool
     exhaustion, chunk offsets and shared-row attribution stay
     deterministic.
+``process``
+    The parallel engine with ESC rounds forced onto persistent warm
+    worker processes (:mod:`repro.engine.process`): operands travel
+    once per pair via ``multiprocessing.shared_memory`` and workers map
+    them zero-copy, sidestepping the GIL that caps the thread pool.
 
 Every engine produces bit-identical results and identical simulated
 statistics; they differ only in host wall-clock time (see
@@ -51,12 +56,14 @@ def get_engine(name: str) -> Engine:
 def _registry() -> dict:
     from .batched import BatchedEngine
     from .parallel import ParallelEngine
+    from .process import ProcessEngine
     from .reference import ReferenceEngine
 
     return {
         ReferenceEngine.name: ReferenceEngine,
         BatchedEngine.name: BatchedEngine,
         ParallelEngine.name: ParallelEngine,
+        ProcessEngine.name: ProcessEngine,
     }
 
 

@@ -901,6 +901,260 @@ def _multi_merge_optimistic_batch(
 
 
 # ---------------------------------------------------------------------------
+# stage 3: batched Path/Search Merge (iterative row merges)
+# ---------------------------------------------------------------------------
+
+
+class _MergeCtx:
+    """The slice of :class:`~repro.gpu.block.BlockContext` the threshold
+    hooks consume (``.config`` and ``.meter``) — iterative merge workers
+    never touch a scratchpad, so building the full context per worker
+    per round would be pure allocation churn."""
+
+    __slots__ = ("config", "meter")
+
+    def __init__(self, config, meter):
+        self.config = config
+        self.meter = meter
+
+
+@dataclass
+class _IterMergeState:
+    """Per-worker lockstep state of one batched PM/SM round."""
+
+    w: object
+    meter: CostMeter
+    ctx: _MergeCtx
+    records: list = field(default_factory=list)
+    final_commit: object = None
+    # slice of the current iteration's segment in the batch arrays
+    cols: np.ndarray | None = None
+    vals: np.ndarray | None = None
+    take: np.ndarray | None = None
+
+
+def _iter_merge_on_fail(w, rec: AllocationRecord, cycles: float) -> None:
+    """Roll the worker back to the failing allocation's snapshot; its
+    cursors from earlier successful iterations survive (the reference
+    resumes mid-row after pool growth)."""
+    w._cursors = list(rec.restore["cursors"])
+    del w._produced[rec.restore["n_produced"] :]
+    w._offset = rec.restore["offset"]
+    w._emit_seq = rec.restore["emit_seq"]
+    w.done = False
+
+
+def _iterative_merge_optimistic_batch(
+    ectx: EngineContext, workers: list
+) -> list[OptimisticRun]:
+    """Run every Path/Search Merge worker of one round in lockstep.
+
+    Each lockstep iteration gathers every still-active worker's next
+    column slice (threshold selection stays per-worker — it is sampling
+    over tiny arrays — but charges land on the worker's own meter in
+    reference order), then executes the sort + compaction of *all*
+    slices as one segmented batch.  Keys are column-only: an iterative
+    merge block handles exactly one row, so the reference's composite
+    ``(row_rel << col_bits) | col`` key has a constant zero in its
+    single row bit and the permutation equals sorting the column part.
+    Charges still account the full ``row_bits + col_bits`` wide sort.
+    """
+    opts = ectx.options
+    cfg = opts.device
+    b = ectx.b
+    dtype = opts.value_dtype
+    capacity = cfg.elements_per_block
+    elem_bytes = opts.element_bytes
+
+    states: list[_IterMergeState] = []
+    for w in workers:
+        w.attempts += 1
+        meter = CostMeter(config=cfg, constants=opts.costs)
+        if opts.device_trace:
+            meter.sort_log = []
+        if w._cols is None:
+            segs = gather_row_segments(
+                w.row, ectx.tracker, b, opts, meter, materialize_cost=False
+            )
+            w._cols = segs.cols
+            w._vals = segs.vals
+            w._cursors = [0] * len(segs.cols)
+        states.append(
+            _IterMergeState(w=w, meter=meter, ctx=_MergeCtx(cfg, meter))
+        )
+
+    tracker = ectx.tracker
+    active = states
+    while active:
+        batch: list[_IterMergeState] = []
+        for st in active:
+            w = st.w
+            meter = st.meter
+            remaining_cols = [
+                c[cur:] for c, cur in zip(w._cols, w._cursors)
+            ]
+            total = sum(c.shape[0] for c in remaining_cols)
+            if total == 0:
+                # retire: the multi-chunk row swap is deferred to the
+                # run's final_commit so the replay applies it at the
+                # reference's point of the serial order — and only when
+                # no allocation of this run failed
+                meter.atomic(1)
+                w.done = True
+
+                def _commit(row=w.row, chunks=list(w._produced), off=w._offset):
+                    tracker.replace_row(row, chunks, off)
+
+                st.final_commit = _commit
+                continue
+
+            if total <= capacity:
+                take = np.asarray(
+                    [c.shape[0] for c in remaining_cols], dtype=np.int64
+                )
+            else:
+                threshold = w._choose_threshold(st.ctx, remaining_cols, capacity)
+                take = w._counts_for(remaining_cols, threshold)
+                taken_total = int(take.sum())
+                if taken_total == 0 or taken_total > capacity:
+                    raise AssertionError(
+                        "threshold selection violated the capacity contract"
+                    )
+
+            take_list = take.tolist()
+            cols_parts = [
+                c[:t] for c, t in zip(remaining_cols, take_list) if t
+            ]
+            vals_parts = [
+                v[cur : cur + t]
+                for v, cur, t in zip(w._vals, w._cursors, take_list)
+                if t
+            ]
+            st.cols = (
+                cols_parts[0] if len(cols_parts) == 1 else np.concatenate(cols_parts)
+            )
+            st.vals = (
+                vals_parts[0] if len(vals_parts) == 1 else np.concatenate(vals_parts)
+            )
+            st.take = take
+            meter.global_read(st.cols.shape[0], elem_bytes)
+            batch.append(st)
+
+        if not batch:
+            break
+
+        # ---- batched esc_merge_batch over every active segment --------
+        nseg = len(batch)
+        seg_sizes = np.fromiter((st.cols.shape[0] for st in batch), np.int64, nseg)
+        seg_off = np.zeros(nseg + 1, dtype=np.int64)
+        np.cumsum(seg_sizes, out=seg_off[1:])
+        cols_b = (
+            batch[0].cols if nseg == 1 else np.concatenate([st.cols for st in batch])
+        )
+        vals_b = (
+            batch[0].vals if nseg == 1 else np.concatenate([st.vals for st in batch])
+        )
+
+        if opts.enable_bit_reduction:
+            cmin = np.minimum.reduceat(cols_b, seg_off[:-1])
+            cmax = np.maximum.reduceat(cols_b, seg_off[:-1])
+            for i in range(nseg):
+                batch[i].meter.scan(int(seg_sizes[i]))
+        else:
+            cmin = np.zeros(nseg, dtype=np.int64)
+            cmax = np.maximum.reduceat(cols_b, seg_off[:-1])
+        col_bits = np.fromiter(
+            (bits_required(max(0, int(cmax[i] - cmin[i]))) for i in range(nseg)),
+            np.int64,
+            nseg,
+        )
+        # one row per block: row_bits == bits_required(0) == 1, and the
+        # row part of every key is zero
+        key_bits = col_bits + 1
+
+        keys = (cols_b - np.repeat(cmin, seg_sizes)).astype(np.uint64)
+        perm = _segmented_sort(keys, seg_sizes, seg_off, key_bits.tolist())
+        keys_s = keys[perm]
+        vals_s = vals_b[perm]
+        for i in range(nseg):
+            batch[i].meter.radix_sort(int(seg_sizes[i]), int(key_bits[i]))
+
+        comp_keys, comp_vals, comp_counts = _segmented_compact(
+            keys_s, vals_s, seg_off
+        )
+        comp_off = np.zeros(nseg + 1, dtype=np.int64)
+        np.cumsum(comp_counts, out=comp_off[1:])
+        comp_cols_all = comp_keys.astype(np.int64) + np.repeat(cmin, comp_counts)
+
+        # ---- per-worker chunk emission (reference charge order) --------
+        next_active: list[_IterMergeState] = []
+        for i, st in enumerate(batch):
+            w = st.w
+            meter = st.meter
+            m = int(seg_sizes[i])
+            meter.alu(2 * m)  # compaction neighbour compares
+            meter.scan(m)  # Algorithm 3's single scan
+            lo_c, hi_c = int(comp_off[i]), int(comp_off[i + 1])
+            comp_n = hi_c - lo_c
+            meter.alu(m - comp_n)  # the merge's re-combining additions
+
+            chunk = Chunk(
+                order_key=w._order_key(),
+                kind="data",
+                first_row=w.row,
+                last_row=w.row,
+                rows=np.full(comp_n, w.row, dtype=np.int64),
+                cols=comp_cols_all[lo_c:hi_c],
+                vals=comp_vals[lo_c:hi_c],
+                segment_offsets={w.row: w._offset},
+            )
+            nbytes = ectx.pool.data_bytes(
+                comp_n, dtype.itemsize, opts.col_index_bytes
+            )
+            rec = AllocationRecord(
+                chunk=chunk,
+                nbytes=nbytes,
+                pre_cycles=meter.cycles,
+                pre_counters=snapshot_counters(meter.counters),
+                commit=("none", (), ()),
+                restore={
+                    "cursors": list(w._cursors),
+                    "n_produced": len(w._produced),
+                    "offset": w._offset,
+                    "emit_seq": w._emit_seq,
+                },
+                pre_sort_len=len(meter.sort_log or ()),
+            )
+            st.records.append(rec)
+            meter.atomic(1)  # pool bump allocation
+            meter.scratchpad(2 * comp_n)
+            meter.global_write(comp_n, elem_bytes)
+            meter.global_write(1, 32)
+
+            # optimistic advance (rolled back by _iter_merge_on_fail)
+            w._emit_seq += 1
+            w._offset += comp_n
+            w._produced.append(chunk)
+            w._cursors = [
+                cur + int(t) for cur, t in zip(w._cursors, st.take.tolist())
+            ]
+            st.cols = st.vals = st.take = None
+            next_active.append(st)
+        active = next_active
+
+    return [
+        OptimisticRun(
+            worker=st.w,
+            meter=st.meter,
+            records=st.records,
+            on_fail=_iter_merge_on_fail,
+            final_commit=st.final_commit,
+        )
+        for st in states
+    ]
+
+
+# ---------------------------------------------------------------------------
 # stage 4: batched chunk copy
 # ---------------------------------------------------------------------------
 
@@ -913,7 +1167,13 @@ def _copy_chunks_batched(
     nnz = int(row_ptr[-1])
     col_idx = np.empty(nnz, dtype=np.int64)
     values = np.empty(nnz, dtype=opts.value_dtype)
-    written = np.zeros(nnz, dtype=bool)
+    # the element-exact double-write/coverage tracking costs several
+    # full-size boolean gathers and scatters per multiply, so it runs
+    # only under --sanitize; the unconditional completeness check at the
+    # end (total copied count == nnz) still catches lost or duplicated
+    # segments, just without naming the exact element
+    check = opts.sanitize
+    written = np.zeros(nnz, dtype=bool) if check else None
 
     chunks = list(pool.ordered_chunks())
     n_chunks = len(chunks)
@@ -943,14 +1203,15 @@ def _copy_chunks_batched(
         if base + m > int(row_ptr[row + 1]):
             raise AssertionError(f"chunk copy overflows row {row}")
         dest = slice(base, base + m)
-        if written[dest].any():
-            raise AssertionError(f"double write into row {row}")
+        if check:
+            if written[dest].any():
+                raise AssertionError(f"double write into row {row}")
+            written[dest] = True
         col_idx[dest] = b.col_idx[lo : lo + m]
         values[dest] = chunk.factor * b.values[lo : lo + m]
-        written[dest] = True
         copied_per_chunk[ci] = m
 
-    # ---- data chunks: one global gather/scatter over all of them ------
+    # ---- data chunks: coalesced slice copies over the live runs -------
     data_ci = np.fromiter(
         (
             ci
@@ -967,8 +1228,6 @@ def _copy_chunks_batched(
         off = np.zeros(len(dchunks) + 1, dtype=np.int64)
         np.cumsum(lens, out=off[1:])
         rows_cat = np.concatenate([ch.rows for ch in dchunks])
-        cols_cat = np.concatenate([ch.cols for ch in dchunks])
-        vals_cat = np.concatenate([ch.vals for ch in dchunks])
         n_tot = rows_cat.shape[0]
 
         # per-(chunk, row) runs via boundary flags with chunk breaks
@@ -1011,19 +1270,47 @@ def _copy_chunks_batched(
 
         rows_l = run_row[live]
         cnt_l = run_cnt[live]
+        pos_l = pos[live]
+        di_l = run_di[live]
         dst_base = row_ptr[rows_l] + seg_base[live]
         if np.any(dst_base + cnt_l > row_ptr[rows_l + 1]):
             raise AssertionError("chunk copy overflows a row")
-        src = _ragged_arange(pos[live], cnt_l)
-        dst = _ragged_arange(dst_base, cnt_l)
-        if written[dst].any():
-            raise AssertionError("double write during chunk copy")
-        col_idx[dst] = cols_cat[src]
-        values[dst] = vals_cat[src]
-        written[dst] = True
+
+        if pos_l.shape[0]:
+            # adjacent live runs are almost always contiguous on both the
+            # source and destination side and come from the same chunk, so
+            # the element-granular gather/scatter collapses into a few
+            # thousand slice copies straight out of each chunk's own
+            # arrays — no cols/vals concatenation, no index vectors
+            brk = np.empty(pos_l.shape[0], dtype=bool)
+            brk[0] = True
+            brk[1:] = (
+                (pos_l[1:] != pos_l[:-1] + cnt_l[:-1])
+                | (dst_base[1:] != dst_base[:-1] + cnt_l[:-1])
+                | (di_l[1:] != di_l[:-1])
+            )
+            starts = np.nonzero(brk)[0]
+            bounds = np.append(starts, pos_l.shape[0])
+            cum = np.zeros(cnt_l.shape[0] + 1, dtype=np.int64)
+            np.cumsum(cnt_l, out=cum[1:])
+            seg_len = cum[bounds[1:]] - cum[bounds[:-1]]
+            src0_list = (pos_l[starts] - off[di_l[starts]]).tolist()
+            dst0_list = dst_base[starts].tolist()
+            sdi_list = di_l[starts].tolist()
+            for s0, d0, di, ln in zip(
+                src0_list, dst0_list, sdi_list, seg_len.tolist()
+            ):
+                ch = dchunks[di]
+                de = d0 + ln
+                if check:
+                    if written[d0:de].any():
+                        raise AssertionError("double write during chunk copy")
+                    written[d0:de] = True
+                col_idx[d0:de] = ch.cols[s0 : s0 + ln]
+                values[d0:de] = ch.vals[s0 : s0 + ln]
 
         copied_data = np.bincount(
-            run_di[live], weights=cnt_l, minlength=len(dchunks)
+            di_l, weights=cnt_l, minlength=len(dchunks)
         ).astype(np.int64)
         for di, cp in zip(data_ci.tolist(), copied_data.tolist()):
             copied_per_chunk[di] = cp
@@ -1060,9 +1347,13 @@ def _copy_chunks_batched(
     sink.global_bytes_written += sum_written
     sink.global_transactions += sum_tx
 
-    if not written.all():
+    if check and not written.all():
         missing = int((~written).sum())
         raise AssertionError(f"{missing} output entries were never written")
+    if sum(copied_per_chunk) != nnz:
+        raise AssertionError(
+            f"chunk copy covered {sum(copied_per_chunk)} of {nnz} entries"
+        )
 
     c = CSRMatrix(
         rows=n_rows,
@@ -1080,9 +1371,10 @@ def _copy_chunks_batched(
 class BatchedEngine(ReferenceEngine):
     """Fuse all ready blocks of each kernel launch into numpy batches.
 
-    Path and Search Merge rounds fall back to the per-block reference
-    path: their stateful mid-run restart cursors make batching fiddly
-    and they are a negligible share of host time.
+    Every stage is batched: ESC and Multi Merge as one flat batch per
+    round, Path/Search Merge as lockstep iterations whose sorts and
+    compactions fuse across workers (threshold sampling stays
+    per-worker — it reads tiny arrays and carries restart cursors).
     """
 
     name = "batched"
@@ -1105,11 +1397,16 @@ class BatchedEngine(ReferenceEngine):
             return replay_and_commit(
                 ectx.pool, ectx.tracker, runs, ectx.options.costs
             )
-        # PM/SM rounds share the reference implementation; run its sorts
-        # through the single-pass execution mode (same permutations, same
-        # charges — see fast_stable_sort).
+        # PM/SM: lockstep-batched iterative merges.  The threshold
+        # hooks' internal sample sorts run under the single-pass
+        # execution mode (same permutations, same charges).
+        self.count("fused_iter_launches")
+        self.count("fused_iter_workers", len(workers))
         with fast_stable_sort():
-            return super().merge_round(ectx, stage, workers)
+            runs = _iterative_merge_optimistic_batch(ectx, workers)
+        return replay_and_commit(
+            ectx.pool, ectx.tracker, runs, ectx.options.costs
+        )
 
     def copy_output(
         self, ectx: EngineContext, row_ptr: np.ndarray, counter_sink

@@ -14,13 +14,16 @@ Path and Search Merge rounds stay sequential (their workers keep
 mid-run restart cursors that interact with the pool more intricately),
 as does the final chunk copy; ESC dominates the host time anyway.
 
-Threads, not processes: the block code is numpy-heavy and numpy releases
-the GIL in its kernels, and the recorded ``Chunk`` objects must remain
-shareable with the committing thread.
+ESC rounds can instead be dispatched to persistent warm worker
+*processes* (:mod:`repro.engine.process`): the per-block Python dispatch
+is GIL-bound, so on multi-core hosts processes — fed the CSR operands
+once via shared memory — parallelise what threads cannot.  MM rounds and
+everything touching the real tracker stay on the persistent thread pool.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
@@ -33,6 +36,23 @@ from .reference import ReferenceEngine
 from .replay import AllocationRecord, OptimisticRun, replay_and_commit, snapshot_counters
 
 __all__ = ["ParallelEngine"]
+
+#: one persistent pool for the whole process, sized from the machine —
+#: constructing a fresh ThreadPoolExecutor per kernel round spends more
+#: host time starting threads than small rounds spend computing
+_SHARED_POOL: ThreadPoolExecutor | None = None
+
+
+def shared_thread_pool() -> ThreadPoolExecutor:
+    """The process-wide persistent executor (created on first use)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        _SHARED_POOL = ThreadPoolExecutor(
+            max_workers=os.cpu_count() or 1,
+            thread_name_prefix="repro-engine",
+        )
+        atexit.register(_SHARED_POOL.shutdown)
+    return _SHARED_POOL
 
 
 class _ShadowPool:
@@ -124,21 +144,61 @@ class _ShadowTracker:
         rec.commit[2].append(int(new_count))
 
 
+def _want_process_dispatch() -> bool:
+    """Whether ESC rounds should go to warm worker processes.
+
+    ``REPRO_PROCESS_WORKERS=N`` forces it on (N > 0) or off (0) — the
+    test hook for exercising the process path on any machine; otherwise
+    processes are used whenever the host has more than one core.
+    """
+    env = os.environ.get("REPRO_PROCESS_WORKERS", "").strip()
+    if env:
+        if env == "auto":
+            return (os.cpu_count() or 1) >= 2
+        try:
+            return int(env) > 0
+        except ValueError:
+            return False
+    return (os.cpu_count() or 1) >= 2
+
+
 class ParallelEngine(ReferenceEngine):
     """Thread-pool execution of the per-block reference code."""
 
     name = "parallel"
 
+    #: subclass switch: dispatch ESC rounds to warm worker processes
+    use_processes = False
+
     def __init__(self, max_workers: int | None = None):
         super().__init__()
         self._max_workers = max_workers
 
-    def _pool_size(self, n_tasks: int) -> int:
-        limit = self._max_workers or min(32, os.cpu_count() or 1)
-        return max(1, min(limit, n_tasks))
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._max_workers is not None:
+            # explicit sizing (tests): a private pool of that exact width
+            return ThreadPoolExecutor(self._max_workers)
+        return shared_thread_pool()
+
+    def _run_tasks(self, execute, tasks: list) -> list:
+        ex = self._executor()
+        if ex is _SHARED_POOL:
+            return list(ex.map(execute, tasks))
+        with ex:
+            return list(ex.map(execute, tasks))
 
     def esc_round(self, ectx: EngineContext, pending: list) -> list[RoundOutcome]:
         opts = ectx.options
+        if self.use_processes or _want_process_dispatch():
+            from .process import process_esc_runs
+
+            runs = process_esc_runs(self, ectx, pending)
+            if runs is not None:
+                self.count("proc_esc_rounds")
+                self.count("proc_esc_tasks", len(pending))
+                return replay_and_commit(
+                    ectx.pool, ectx.tracker, runs, opts.costs
+                )
         self.count("pool_esc_rounds")
         self.count("pool_esc_tasks", len(pending))
 
@@ -163,8 +223,7 @@ class ParallelEngine(ReferenceEngine):
             blk.run(ctx, shadow_pool, shadow_tracker)
             return ctx.meter, records, ctx.scratchpad
 
-        with ThreadPoolExecutor(self._pool_size(len(pending))) as ex:
-            results = list(ex.map(execute, pending))
+        results = self._run_tasks(execute, pending)
 
         runs: list[OptimisticRun] = []
         for blk, (meter, records, scratch) in zip(pending, results):
@@ -213,8 +272,7 @@ class ParallelEngine(ReferenceEngine):
             w.run(ctx, shadow_tracker, shadow_pool, ectx.b, opts)
             return ctx.meter, records
 
-        with ThreadPoolExecutor(self._pool_size(len(workers))) as ex:
-            results = list(ex.map(execute, enumerate(workers)))
+        results = self._run_tasks(execute, list(enumerate(workers)))
 
         runs = [
             OptimisticRun(w, meter, records)

@@ -1,0 +1,434 @@
+"""Persistent warm worker processes for ESC rounds.
+
+The per-block Python dispatch of an ESC round is GIL-bound — threads
+cannot parallelise it — so on multi-core hosts the parallel engine ships
+each round's blocks to a pool of *warm* spawn processes that stay alive
+across rounds and runs.  The expensive state (the CSR operands and the
+global load-balance arrays) is placed once per operand pair: the parent
+exports A and B to shared memory (:class:`~repro.engine.shm.SharedCSR`),
+workers map them zero-copy and re-derive the (deterministic) load
+balance locally.  Per round only the tiny restart states travel to the
+workers and the optimistic execution results travel back.
+
+Workers never see the real chunk pool or row tracker.  Each block runs
+against the same shadow objects the thread path uses, so the returned
+``(meter, records)`` feed the identical serial replay
+(:func:`repro.engine.replay.replay_and_commit`) — results, cycles and
+every simulated statistic stay bit-identical to the reference engine no
+matter how many workers run.
+
+Failure policy: any worker error or lost pipe tears the pool down and
+returns ``None``, and the caller falls back to the thread path *before*
+mutating any block — correctness never depends on process health.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import os
+import traceback
+
+import numpy as np
+
+from ..core.chunks import ChunkPool
+from ..core.esc import EscBlock
+from ..core.load_balance import global_load_balance
+from ..gpu.block import BlockContext
+from ..gpu.cost import CostMeter
+from .parallel import ParallelEngine, _ShadowPool, _ShadowTracker
+from .replay import AllocationRecord, OptimisticRun
+from .shm import SharedCSR
+
+__all__ = [
+    "ProcessEngine",
+    "WarmProcessPool",
+    "process_esc_runs",
+    "resolve_process_workers",
+    "warm_pool",
+]
+
+#: operand pairs kept exported (parent) / mapped (workers) at once
+_EXPORT_CACHE = 4
+
+
+def resolve_process_workers() -> int:
+    """Worker count: ``REPRO_PROCESS_WORKERS`` or the core count."""
+    env = os.environ.get("REPRO_PROCESS_WORKERS", "").strip()
+    if env and env != "auto":
+        try:
+            return max(0, int(env))
+        except ValueError:
+            return 0
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class _StubTracker:
+    """The tracker surface an optimistic ESC block touches: it counts
+    ``shared_rows`` growth (zero while running optimistically) and never
+    reads chunk lists."""
+
+    def __init__(self, n_rows: int):
+        self.n_rows = n_rows
+        self.shared_rows: list[int] = []
+
+
+def _run_esc_block(a, b, glb, options, pool_proto, st: dict) -> dict:
+    blk = EscBlock(
+        block_id=st["block_id"],
+        a=a,
+        b=b,
+        glb=glb,
+        options=options,
+        committed=st["committed"],
+        n_long_emitted=st["n_long_emitted"],
+        chunk_seq=st["chunk_seq"],
+        done=False,
+        attempts=st["attempts"],
+        total_cycles=0.0,
+        esc_iterations=st["esc_iterations"],
+    )
+    records: list[AllocationRecord] = []
+    ctx = BlockContext(
+        config=options.device, block_id=blk.block_id, constants=options.costs
+    )
+    if options.device_trace:
+        ctx.meter.sort_log = []
+    shadow_pool = _ShadowPool(
+        pool_proto,
+        records,
+        lambda blk=blk: {
+            "committed": blk.committed,
+            "n_long_emitted": blk.n_long_emitted,
+            "esc_iterations": blk.esc_iterations,
+        },
+        scratchpad=ctx.scratchpad,
+    )
+    shadow_tracker = _ShadowTracker(_StubTracker(a.rows), records)
+    blk.run(ctx, shadow_pool, shadow_tracker)
+    return {
+        "meter": ctx.meter,
+        "records": records,
+        "scratchpad": ctx.scratchpad,
+        "final": {
+            "committed": blk.committed,
+            "n_long_emitted": blk.n_long_emitted,
+            "chunk_seq": blk.chunk_seq,
+            "done": blk.done,
+            "attempts": blk.attempts,
+            "esc_iterations": blk.esc_iterations,
+            "total_cycles_delta": blk.total_cycles,
+        },
+    }
+
+
+def _drop_entry(entry) -> None:
+    _, _, _, _, handles = entry
+    for h in handles:
+        h.close()
+
+
+def worker_main(conn) -> None:
+    """Entry point of one warm worker (spawn context)."""
+    cache: dict[str, tuple] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            cmd = msg[0]
+            if cmd == "exit":
+                break
+            try:
+                if cmd == "load":
+                    _, token, meta_a, meta_b, options = msg
+                    ha = SharedCSR.attach(meta_a)
+                    hb = SharedCSR.attach(meta_b)
+                    a = ha.matrix()
+                    b = hb.matrix()
+                    scratch_meter = CostMeter(
+                        config=options.device, constants=options.costs
+                    )
+                    glb = global_load_balance(
+                        a, options.device.nnz_per_block_glb, scratch_meter
+                    )
+                    cache[token] = (a, b, glb, options, (ha, hb))
+                    conn.send(("ok",))
+                elif cmd == "esc":
+                    _, token, states = msg
+                    a, b, glb, options, _ = cache[token]
+                    pool_proto = ChunkPool(capacity_bytes=0)
+                    results = [
+                        _run_esc_block(a, b, glb, options, pool_proto, st)
+                        for st in states
+                    ]
+                    conn.send(("esc", results))
+                elif cmd == "drop":
+                    # parent evicted this operand pair; no reply expected
+                    entry = cache.pop(msg[1], None)
+                    if entry is not None:
+                        _drop_entry(entry)
+                else:
+                    conn.send(("err", f"unknown command {cmd!r}"))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        pass
+    finally:
+        for entry in cache.values():
+            _drop_entry(entry)
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.loaded: set[str] = set()
+
+
+class WarmProcessPool:
+    """Parent-side handle on the persistent worker processes.
+
+    Owns every exported shared-memory segment: segments are unlinked
+    when their operand pair is evicted from the LRU and, unconditionally,
+    at :meth:`shutdown` (registered via ``atexit``) — so a crashed
+    worker can never leak a segment past the parent's lifetime.
+    """
+
+    def __init__(self):
+        self._ctx = mp.get_context("spawn")
+        self._workers: list[_Worker] = []
+        self._exports: dict[str, tuple[SharedCSR, SharedCSR, object]] = {}
+
+    # -- workers --------------------------------------------------------
+
+    def ensure(self, n: int) -> int:
+        """Grow the pool to ``n`` workers; returns the live count."""
+        self._reap()
+        while len(self._workers) < n:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(_Worker(proc, parent_conn))
+        return len(self._workers)
+
+    def _reap(self) -> None:
+        self._workers = [w for w in self._workers if w.proc.is_alive()]
+
+    # -- operand placement ----------------------------------------------
+
+    @staticmethod
+    def operand_token(a, b, options) -> str:
+        h = hashlib.blake2b(digest_size=16)
+        for m in (a, b):
+            h.update(np.int64(m.rows).tobytes())
+            h.update(np.int64(m.cols).tobytes())
+            for arr in (m.row_ptr, m.col_idx, m.values):
+                h.update(np.ascontiguousarray(arr).data)
+        h.update(options.cache_fingerprint().encode())
+        return h.hexdigest()
+
+    def load(self, a, b, options) -> str:
+        """Export ``(a, b)`` once and return the pair's token."""
+        token = self.operand_token(a, b, options)
+        if token in self._exports:
+            self._exports[token] = self._exports.pop(token)  # refresh LRU
+        else:
+            while len(self._exports) >= _EXPORT_CACHE:
+                old = next(iter(self._exports))
+                sa, sb, _ = self._exports.pop(old)
+                for w in self._workers:
+                    if old in w.loaded:
+                        w.loaded.discard(old)
+                        try:
+                            w.conn.send(("drop", old))
+                        except (BrokenPipeError, OSError):
+                            pass
+                sa.release()
+                sb.release()
+            self._exports[token] = (
+                SharedCSR.export(a),
+                SharedCSR.export(b),
+                options,
+            )
+        return token
+
+    def _ensure_worker_loaded(self, w: _Worker, token: str) -> None:
+        if token in w.loaded:
+            return
+        sa, sb, options = self._exports[token]
+        w.conn.send(("load", token, sa.meta(), sb.meta(), options))
+        reply = w.conn.recv()
+        if reply[0] != "ok":
+            raise RuntimeError(f"worker load failed: {reply[1:]}")
+        w.loaded.add(token)
+
+    # -- dispatch -------------------------------------------------------
+
+    def run_esc(self, token: str, states: list[dict], n_workers: int) -> list[dict]:
+        """Fan block states over ``n_workers`` contiguous slices.
+
+        Returns per-block result dicts in input order; raises on any
+        worker failure (callers tear the pool down and fall back).
+        """
+        n = min(n_workers, len(self._workers), len(states))
+        if n < 1:
+            raise RuntimeError("no live workers")
+        bounds = np.linspace(0, len(states), n + 1).astype(int)
+        tasks: list[tuple[_Worker, int, int]] = []
+        for i in range(n):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if lo == hi:
+                continue
+            w = self._workers[i]
+            self._ensure_worker_loaded(w, token)
+            w.conn.send(("esc", token, states[lo:hi]))
+            tasks.append((w, lo, hi))
+        results: list[dict | None] = [None] * len(states)
+        for w, lo, hi in tasks:
+            reply = w.conn.recv()
+            if reply[0] != "esc":
+                raise RuntimeError(f"worker esc failed: {reply[1:]}")
+            results[lo:hi] = reply[1]
+        return results  # type: ignore[return-value]
+
+    # -- teardown -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop workers and unlink every exported segment."""
+        for w in self._workers:
+            try:
+                w.conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for w in self._workers:
+            w.proc.join(timeout=2)
+            if w.proc.is_alive():  # pragma: no cover - stuck worker
+                w.proc.kill()
+                w.proc.join(timeout=2)
+            w.conn.close()
+        self._workers = []
+        for sa, sb, _ in self._exports.values():
+            sa.release()
+            sb.release()
+        self._exports = {}
+
+
+_POOL: WarmProcessPool | None = None
+
+
+def warm_pool() -> WarmProcessPool:
+    """The process-wide warm pool (created on first use)."""
+    global _POOL
+    if _POOL is None:
+        _POOL = WarmProcessPool()
+        atexit.register(_POOL.shutdown)
+    return _POOL
+
+
+def _teardown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        try:
+            _POOL.shutdown()
+        finally:
+            _POOL = None
+
+
+def process_esc_runs(engine, ectx, pending: list) -> list[OptimisticRun] | None:
+    """Execute one ESC round on the warm pool.
+
+    Returns the optimistic runs for :func:`replay_and_commit`, or
+    ``None`` (with no state mutated) when processes are unavailable —
+    the caller then uses the thread path.
+    """
+    if not pending:
+        return []
+    n_workers = resolve_process_workers()
+    if n_workers < 1:
+        return None
+    try:
+        pool = warm_pool()
+        pool.ensure(n_workers)
+        token = pool.load(ectx.a, ectx.b, ectx.options)
+        states = [
+            {
+                "block_id": blk.block_id,
+                "committed": blk.committed,
+                "n_long_emitted": blk.n_long_emitted,
+                "chunk_seq": blk.chunk_seq,
+                "attempts": blk.attempts,
+                "esc_iterations": blk.esc_iterations,
+            }
+            for blk in pending
+        ]
+        results = pool.run_esc(token, states, n_workers)
+    except Exception:
+        _teardown_pool()
+        return None
+
+    runs: list[OptimisticRun] = []
+    for blk, res in zip(pending, results):
+        final = res["final"]
+        blk.committed = final["committed"]
+        blk.n_long_emitted = final["n_long_emitted"]
+        blk.chunk_seq = final["chunk_seq"]
+        blk.done = final["done"]
+        blk.attempts = final["attempts"]
+        blk.esc_iterations = final["esc_iterations"]
+        blk.total_cycles += final["total_cycles_delta"]
+        meter = res["meter"]
+        full = meter.cycles
+
+        def on_success(worker, cycles, _full=full):
+            worker.total_cycles += cycles - _full
+
+        def on_fail(worker, rec, cycles, _full=full):
+            worker.committed = rec.restore["committed"]
+            worker.n_long_emitted = rec.restore["n_long_emitted"]
+            worker.esc_iterations = rec.restore["esc_iterations"]
+            worker.chunk_seq = rec.chunk.order_key[1]
+            worker.done = False
+            worker.total_cycles += cycles - _full
+
+        runs.append(
+            OptimisticRun(
+                blk,
+                meter,
+                res["records"],
+                on_success,
+                on_fail,
+                scratchpad=res["scratchpad"],
+            )
+        )
+    return runs
+
+
+class ProcessEngine(ParallelEngine):
+    """The parallel engine with ESC rounds pinned to warm processes.
+
+    Selecting ``engine="process"`` forces the process path even on a
+    single-core host (one warm worker), which is how the tests exercise
+    it everywhere; the plain parallel engine reaches the same code
+    automatically on multi-core hosts.
+    """
+
+    name = "process"
+
+    use_processes = True

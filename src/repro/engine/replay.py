@@ -47,7 +47,11 @@ class AllocationRecord:
     this allocation raises), ``restore`` the worker state to roll back
     to, and ``commit`` the tracker mutation to apply on success:
     ``("insert", rows, counts)`` links the chunk into each covered
-    row's list, ``("replace", rows, counts)`` swaps merged rows over.
+    row's list, ``("replace", rows, counts)`` swaps merged rows over,
+    and ``("none", (), ())`` registers the chunk in the pool without
+    touching the tracker (iterative merges defer their row swap to the
+    run's ``final_commit``, because the replacement spans every chunk
+    the worker produced, across rounds).
     """
 
     chunk: Chunk
@@ -77,6 +81,10 @@ class OptimisticRun:
     on_fail: Callable[[object, AllocationRecord, float], None] | None = None
     #: the block's scratchpad, when the stage uses one (device trace)
     scratchpad: object | None = None
+    #: tracker mutation applied once all records committed — the
+    #: reference executes it at the same point of the serial order (a
+    #: retiring worker's last act, before the next block allocates)
+    final_commit: Callable[[], None] | None = None
 
 
 def snapshot_counters(c: TrafficCounters) -> TrafficCounters:
@@ -133,13 +141,16 @@ def replay_and_commit(
                     if len(lst) == 2:
                         tracker.shared_rows.append(row)
                         extra_shared += 1
-            else:  # "replace"
+            elif kind == "replace":
                 for row, count in zip(rows, counts):
                     tracker.replace_row(row, [rec.chunk], count)
+            # "none": pool registration only (final_commit owns the swap)
 
         correction = extra_shared * constants.atomic_cycles
         sort_log = run.meter.sort_log
         if failed is None:
+            if run.final_commit is not None:
+                run.final_commit()
             counters = snapshot_counters(run.meter.counters)
             counters.atomic_ops += extra_shared
             cycles = run.meter.cycles + correction

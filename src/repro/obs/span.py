@@ -23,11 +23,18 @@ unifying the old ad-hoc trace points into the same structure.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["Span", "SpanEvent", "SpanRecorder"]
+__all__ = [
+    "HostSpanProfile",
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    "host_span_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +96,65 @@ class Span:
         }
 
 
+class HostSpanProfile:
+    """Aggregated host-side *self* time per span name.
+
+    Collected out of band — the span tree itself carries only simulated
+    cycles and stays bit-identical across engines — by crediting the
+    wall time between consecutive recorder transitions to a span name.
+    The driver emits ``leaf`` spans immediately *after* the host work
+    they describe and opens ``span(...)`` contexts immediately before
+    theirs, so the elapsed time preceding each ``start`` is credited to
+    the span being started, and the time preceding each ``finish`` to
+    the span being closed.  Calls are counted once per ``start``.
+    """
+
+    __slots__ = ("totals", "_mark")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, list] = {}  # name -> [calls, host_seconds]
+        self._mark = time.perf_counter()
+
+    def _credit(self, name: str, *, call: bool) -> None:
+        t = time.perf_counter()
+        ent = self.totals.get(name)
+        if ent is None:
+            ent = self.totals[name] = [0, 0.0]
+        ent[0] += 1 if call else 0
+        ent[1] += t - self._mark
+        self._mark = t
+
+    def table(self) -> dict[str, dict]:
+        """``{span_name: {"calls": n, "host_seconds": s}}`` snapshot."""
+        return {
+            name: {"calls": c, "host_seconds": s}
+            for name, (c, s) in self.totals.items()
+        }
+
+
+_HOST_PROFILE: HostSpanProfile | None = None
+
+
+@contextmanager
+def host_span_profile():
+    """Attribute host wall time to span names for the enclosed scope.
+
+    Yields the :class:`HostSpanProfile` accumulating across every
+    :class:`SpanRecorder` used inside the scope (a bench can aggregate
+    over repeated runs).  Purely additive: the span trees produced
+    inside the scope are identical to those produced outside it.
+    """
+    global _HOST_PROFILE
+    if _HOST_PROFILE is not None:
+        raise RuntimeError("host span profiling is already active")
+    prof = HostSpanProfile()
+    _HOST_PROFILE = prof
+    try:
+        yield prof
+    finally:
+        _HOST_PROFILE = None
+
+
 class SpanRecorder:
     """Builds one span tree while advancing a simulated-cycle clock."""
 
@@ -112,6 +178,8 @@ class SpanRecorder:
 
     def start(self, name: str, **attrs) -> Span:
         """Open a span at the current clock and push it on the stack."""
+        if _HOST_PROFILE is not None:
+            _HOST_PROFILE._credit(name, call=True)
         span = Span(name=name, start_cycle=self._clock, attrs=dict(attrs))
         if self._stack:
             self._stack[-1].children.append(span)
@@ -126,6 +194,8 @@ class SpanRecorder:
         """Close the innermost open span at the current clock."""
         if not self._stack:
             raise RuntimeError("no open span to finish")
+        if _HOST_PROFILE is not None:
+            _HOST_PROFILE._credit(self._stack[-1].name, call=False)
         span = self._stack.pop()
         span.end_cycle = self._clock
         span.attrs.update(attrs)

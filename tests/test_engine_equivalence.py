@@ -20,7 +20,7 @@ from repro.matrices import generators as g
 from repro.sparse.stats import squared_operands
 from tests.conftest import random_csr
 
-ENGINES = ("batched", "parallel")
+ENGINES = ("batched", "parallel", "process")
 
 
 def _signature(res) -> dict:

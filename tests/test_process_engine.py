@@ -1,0 +1,233 @@
+"""Process-engine plumbing: shared-memory transport, forced dispatch,
+host span profiling.
+
+The observational equivalence of the ``process`` engine itself is
+covered by ``tests/test_engine_equivalence.py`` (it sweeps every
+engine); the tests here pin the supporting machinery — the
+:class:`~repro.engine.shm.SharedCSR` segment lifecycle (round-trip,
+stale-segment reclaim, no leaks), the ``REPRO_PROCESS_WORKERS`` forcing
+knob on the parallel engine, the campaign runner's post-SIGKILL segment
+sweep, and the out-of-band host span profile used by the hotspot bench.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import AcSpgemmOptions, ac_spgemm
+from repro.campaign import CampaignConfig
+from repro.campaign.runner import CampaignRunner
+from repro.engine.shm import SharedCSR
+from repro.matrices import generators as g
+from repro.obs.span import SpanRecorder, host_span_profile
+from repro.sparse.stats import squared_operands
+from tests.conftest import random_csr
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestSharedCSR:
+    def test_round_trip_is_byte_identical(self, rng):
+        m = random_csr(rng, 200, 150, 0.05, dtype=np.float32)
+        handle = SharedCSR.export(m)
+        try:
+            attached = SharedCSR.attach(handle.meta())
+            try:
+                out = attached.matrix()
+                assert out.rows == m.rows and out.cols == m.cols
+                assert out.row_ptr.tobytes() == np.ascontiguousarray(
+                    m.row_ptr, dtype=np.int64
+                ).tobytes()
+                assert out.col_idx.tobytes() == np.ascontiguousarray(
+                    m.col_idx, dtype=np.int64
+                ).tobytes()
+                assert out.values.tobytes() == m.values.tobytes()
+                assert out.values.dtype == m.values.dtype
+                # exported from a validated build: re-validation is skipped
+                assert out._validated
+            finally:
+                del out  # drop the aliasing views before closing the map
+                attached.close()
+        finally:
+            handle.release()
+
+    def test_release_unlinks_segment(self, rng):
+        handle = SharedCSR.export(random_csr(rng, 50, 50, 0.1))
+        name = handle.name
+        assert _segment_exists(name)
+        handle.release()
+        assert not _segment_exists(name)
+
+    def test_export_reclaims_stale_named_segment(self, rng):
+        """A segment leaked by a SIGKILLed owner is reclaimed on re-export."""
+        name = "repro_test_stale_segment"
+        stale = shared_memory.SharedMemory(create=True, size=64, name=name)
+        stale.buf[:4] = b"dead"
+        stale.close()  # owner died without unlinking
+        m = random_csr(rng, 40, 40, 0.2)
+        handle = SharedCSR.export(m, name=name)
+        try:
+            assert handle.name == name
+            attached = SharedCSR.attach(handle.meta())
+            out = attached.matrix()
+            assert out.values.tobytes() == m.values.tobytes()
+            del out
+            attached.close()
+        finally:
+            handle.release()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_empty_matrix_round_trip(self):
+        from repro.sparse.csr import CSRMatrix
+
+        m = CSRMatrix.from_dense(np.zeros((3, 4)))
+        handle = SharedCSR.export(m)
+        try:
+            attached = SharedCSR.attach(handle.meta())
+            out = attached.matrix()
+            assert out.nnz == 0 and out.rows == 3 and out.cols == 4
+            del out
+            attached.close()
+        finally:
+            handle.release()
+
+
+class TestForcedProcessDispatch:
+    def test_parallel_engine_forced_to_processes(self, monkeypatch):
+        """``REPRO_PROCESS_WORKERS=2`` routes ESC rounds to worker
+        processes even on one core, without perturbing any output."""
+        a, b = squared_operands(g.random_uniform(300, 300, 8.0, seed=21))
+        ref = ac_spgemm(
+            a, b, AcSpgemmOptions(engine="reference")
+        )
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "2")
+        res = ac_spgemm(a, b, AcSpgemmOptions(engine="parallel"))
+        assert res.engine_stats.get("proc_esc_rounds", 0) >= 1
+        assert res.matrix.values.tobytes() == ref.matrix.values.tobytes()
+        assert res.matrix.col_idx.tobytes() == ref.matrix.col_idx.tobytes()
+        assert dict(res.stage_cycles) == dict(ref.stage_cycles)
+        assert res.counters == ref.counters
+
+    def test_forced_off_uses_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "0")
+        a, b = squared_operands(g.random_uniform(200, 200, 6.0, seed=22))
+        res = ac_spgemm(a, b, AcSpgemmOptions(engine="parallel"))
+        assert "proc_esc_rounds" not in res.engine_stats
+        assert res.engine_stats.get("pool_esc_rounds", 0) >= 1
+
+    def test_pool_teardown_leaves_no_segments(self, monkeypatch):
+        """After an explicit warm-pool teardown the operand LRU is
+        released: every exported segment is unlinked."""
+        from repro.engine import process as proc_mod
+
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "1")
+        a, b = squared_operands(g.random_uniform(250, 250, 6.0, seed=23))
+        res = ac_spgemm(a, b, AcSpgemmOptions(engine="process"))
+        assert res.engine_stats.get("proc_esc_rounds", 0) >= 1
+        pool = proc_mod.warm_pool()
+        names = [
+            h.name for sa, sb, _ in pool._exports.values() for h in (sa, sb)
+        ]
+        assert names, "the run must have exported operands"
+        proc_mod._teardown_pool()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestCampaignSegmentSweep:
+    def test_sweep_reclaims_stale_segments(self, tmp_path):
+        """The next invocation of a SIGKILLed campaign unlinks every
+        segment the killed one could have created."""
+        runner = CampaignRunner(
+            tmp_path / "camp", CampaignConfig(suite="tiny", limit=2)
+        )
+        names = runner._segment_names()
+        assert names, "plan must map matrices to segment names"
+        victim = sorted(names.values())[0]
+        stale = shared_memory.SharedMemory(create=True, size=32, name=victim)
+        stale.close()
+        runner._sweep_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=victim)
+
+    def test_segment_names_are_plan_deterministic(self, tmp_path):
+        cfg = CampaignConfig(suite="tiny", limit=2)
+        r1 = CampaignRunner(tmp_path / "c", cfg)
+        r2 = CampaignRunner(tmp_path / "c", cfg)
+        assert r1._segment_names() == r2._segment_names()
+        other = CampaignRunner(tmp_path / "elsewhere", cfg)
+        assert set(other._segment_names().values()).isdisjoint(
+            r1._segment_names().values()
+        )
+
+
+class TestHostSpanProfile:
+    def test_credits_calls_and_time_per_span_name(self):
+        with host_span_profile() as prof:
+            rec = SpanRecorder()
+            rec.start("root")
+            rec.leaf("work", 10.0)
+            rec.leaf("work", 5.0)
+            with rec.span("stage"):
+                rec.leaf("inner", 1.0)
+            rec.close()
+        table = prof.table()
+        assert table["work"]["calls"] == 2
+        assert table["inner"]["calls"] == 1
+        assert all(v["host_seconds"] >= 0.0 for v in table.values())
+
+    def test_profile_does_not_perturb_span_tree(self):
+        def build():
+            rec = SpanRecorder()
+            rec.start("root")
+            rec.leaf("a", 3.0)
+            with rec.span("b"):
+                rec.leaf("c", 2.0)
+            return rec.close().to_dict()
+
+        bare = build()
+        with host_span_profile():
+            profiled = build()
+        assert bare == profiled
+
+    def test_nested_activation_rejected(self):
+        with host_span_profile():
+            with pytest.raises(RuntimeError):
+                with host_span_profile():
+                    pass  # pragma: no cover
+
+    def test_scope_resets_after_exit(self):
+        with host_span_profile():
+            pass
+        with host_span_profile() as prof:  # re-entry after clean exit
+            SpanRecorder().start("x")
+        assert "x" in prof.table()
+
+
+class TestHotspotBench:
+    def test_run_hotspots_payload(self):
+        from repro.bench.wallclock import run_hotspots
+
+        hot = run_hotspots(smoke=True, engine="batched", top=5)
+        assert hot["bench"] == "host-hotspots"
+        assert hot["engine"] == "batched"
+        assert 0 < len(hot["top_spans"]) <= 5
+        assert hot["top_spans"][0]["host_seconds"] >= (
+            hot["top_spans"][-1]["host_seconds"]
+        )
+        names = {r["span"] for r in hot["top_spans"]}
+        assert "esc.round" in names  # the known dominant host span
+        spent = sum(r["host_seconds"] for r in hot["top_spans"])
+        assert spent <= hot["total_host_seconds"] + 1e-6
