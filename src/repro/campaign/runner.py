@@ -103,6 +103,7 @@ class CampaignRunner:
         cache_path: str | Path | None = None,
         progress=None,
         throttle: float = 0.0,
+        cell_timeout: float | None = None,
     ) -> None:
         import os
 
@@ -121,6 +122,11 @@ class CampaignRunner:
         self.progress = progress
         # runtime test hook (kill/resume tests); not part of the plan
         self.throttle = throttle
+        # runtime knob: per-cell wallclock bound (seconds), counted
+        # against the retry budget; like workers it never enters the
+        # plan — but unlike workers a fired timeout *is* visible in the
+        # artifact (a failed/retried cell), so it defaults off
+        self.cell_timeout = cell_timeout
         self.cells = enumerate_cells(config)
         if not self.cells:
             raise CampaignError("campaign plan has no cells")
@@ -207,17 +213,11 @@ class CampaignRunner:
         names = sorted(e.name for e in config_entries(self.config))
         return {name: f"repro_{base}_{i}" for i, name in enumerate(names)}
 
-    def _sweep_segments(self) -> None:
+    def _sweep_segments(self) -> int:
         """Unlink every segment this campaign could have left behind."""
-        from multiprocessing import shared_memory
+        from ..engine.shm import sweep_segments
 
-        for seg in self._segment_names().values():
-            try:
-                stale = shared_memory.SharedMemory(name=seg)
-            except FileNotFoundError:
-                continue
-            stale.unlink()
-            stale.close()
+        return sweep_segments(self._segment_names().values())
 
     # -- cache seeding ------------------------------------------------
 
@@ -290,6 +290,7 @@ class CampaignRunner:
                     self.config,
                     key=cell_key(cell, fps[cell.matrix], self.config),
                     worker=0,
+                    cell_timeout=self.cell_timeout,
                 )
                 writer.append(line)
                 if self.throttle:
@@ -320,6 +321,7 @@ class CampaignRunner:
                     work,
                     self.throttle,
                     operand_metas,
+                    self.cell_timeout,
                 ),
             )
             for w in range(n)
@@ -340,9 +342,14 @@ class CampaignRunner:
             for p in procs:
                 p.join()
         except BaseException:
+            # SIGTERM asks workers to drain: the in-flight cell is
+            # finished and fsynced, so give them a bounded grace period
+            # before propagating
             for p in procs:
                 if p.is_alive():
                     p.terminate()
+            for p in procs:
+                p.join(timeout=10)
             raise
         finally:
             # the owner unlinks unconditionally, and the sweep also

@@ -21,6 +21,7 @@ from .plan import CampaignConfig, CampaignError
 
 __all__ = [
     "ShardWriter",
+    "read_shard_diagnostics",
     "read_shard_lines",
     "load_completed",
     "merged_artifact_bytes",
@@ -81,6 +82,30 @@ def read_shard_lines(path: str | Path) -> list[dict]:
         if isinstance(obj, dict) and "id" in obj and "key" in obj:
             lines.append(obj)
     return lines
+
+
+def read_shard_diagnostics(path: str | Path) -> list[dict]:
+    """Non-cell lines of one shard: heartbeats, starvation, drain marks.
+
+    Workers interleave ``{"kind": ...}`` diagnostic lines (no ``id``/
+    ``key``, so resume and merge never see them) with cell checkpoints;
+    this lenient reader surfaces them for post-mortems and tests.
+    """
+    out: list[dict] = []
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return out
+    for text in raw.splitlines():
+        if not text.strip():
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            continue  # torn line; the strict reader polices corruption
+        if isinstance(obj, dict) and "kind" in obj and "id" not in obj:
+            out.append(obj)
+    return out
 
 
 def load_completed(

@@ -7,16 +7,36 @@ to its own JSONL shard.  Failed cells are *recorded*, never dropped:
 the merged artifact carries their error context so a campaign over an
 adversarial collection still yields one complete, deterministic
 document.
+
+Liveness is observable and termination is graceful:
+
+* An empty queue no longer makes a worker vanish silently after 60 s.
+  The worker polls, appends ``heartbeat`` diagnostic lines to its shard
+  while idle, and — once the starvation window elapses — checkpoints a
+  typed :class:`~repro.resilience.errors.WorkerStarved` diagnostic
+  before exiting, so a wedged queue (dead parent, lost sentinel) is
+  attributable post-mortem.  Diagnostic lines carry no ``id``/``key``
+  and are therefore invisible to the resume/merge machinery.
+* ``SIGTERM`` drains: the in-flight cell finishes and is fsynced to the
+  shard, shared-memory mappings are closed, a ``sigterm-drain``
+  diagnostic is recorded, and the worker exits 0.  (``SIGKILL`` safety
+  — torn final line, shard resume — is covered separately.)
+* An optional per-cell wallclock timeout raises typed
+  :class:`~repro.resilience.errors.DeadlineExceeded` inside the attempt
+  loop, counting against the existing retry budget like any other
+  failure.
 """
 
 from __future__ import annotations
 
 import queue as queue_mod
+import signal
+import threading
 import time
 import traceback
 
 from ..bench.harness import MatrixCase, run_case
-from ..resilience.errors import ReproError
+from ..resilience.errors import DeadlineExceeded, ReproError, WorkerStarved
 from .plan import (
     CampaignConfig,
     CellSpec,
@@ -30,6 +50,16 @@ from .store import ShardWriter
 __all__ = ["execute_cell", "worker_main"]
 
 _DTYPES = {"float32": "float32", "float64": "float64"}
+
+#: queue poll interval: bounds both SIGTERM-drain latency and the
+#: resolution of the starvation clock
+_POLL_SECONDS = 0.5
+
+#: idle seconds between heartbeat diagnostic lines
+_HEARTBEAT_SECONDS = 15.0
+
+#: idle seconds after which a worker records WorkerStarved and exits
+DEFAULT_STARVE_TIMEOUT = 60.0
 
 
 def _algorithm_for(cell: CellSpec, options):
@@ -47,6 +77,10 @@ def _algorithm_for(cell: CellSpec, options):
     return AcSpgemm(device=base.device, costs=base.costs, options=options)
 
 
+def _raise_cell_deadline(signum, frame):
+    raise DeadlineExceeded("cell wallclock timeout", stage="cell")
+
+
 def execute_cell(
     case: MatrixCase,
     cell: CellSpec,
@@ -55,6 +89,7 @@ def execute_cell(
     key: str,
     worker: int,
     runner=None,
+    cell_timeout: float | None = None,
 ) -> dict:
     """Run one cell under the per-cell retry budget.
 
@@ -63,12 +98,25 @@ def execute_cell(
     keeps failing after ``config.retries`` extra attempts is recorded
     with ``status: "failed"`` and the typed error context instead of
     being dropped.
+
+    ``cell_timeout`` (seconds, runtime knob — never part of the plan)
+    bounds each attempt's wallclock via ``SIGALRM``; an expired attempt
+    raises typed :class:`DeadlineExceeded` and consumes one retry like
+    any other failure.  The alarm is only armed on the main thread of a
+    process (always true for spawned campaign workers); elsewhere the
+    timeout is a no-op rather than a wrong answer.
     """
     import numpy as np
 
     run = runner if runner is not None else run_case
     dtype = np.dtype(_DTYPES[cell.dtype])
     options = config.options()
+    use_alarm = (
+        cell_timeout is not None
+        and cell_timeout > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
     attempts = 0
     error: dict | None = None
     record = None
@@ -76,7 +124,11 @@ def execute_cell(
     t0 = time.monotonic()
     while attempts <= config.retries:
         attempts += 1
+        prev_handler = None
         try:
+            if use_alarm:
+                prev_handler = signal.signal(signal.SIGALRM, _raise_cell_deadline)
+                signal.setitimer(signal.ITIMER_REAL, cell_timeout)
             rec = run(
                 case,
                 _algorithm_for(cell, options),
@@ -95,6 +147,11 @@ def execute_cell(
                 "message": str(exc),
                 "trace": traceback.format_exc(limit=3),
             }
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                if prev_handler is not None:
+                    signal.signal(signal.SIGALRM, prev_handler)
     return {
         "id": cell.id,
         "key": key,
@@ -114,6 +171,8 @@ def worker_main(
     work_queue,
     throttle: float = 0.0,
     operands: dict | None = None,
+    cell_timeout: float | None = None,
+    starve_timeout: float = DEFAULT_STARVE_TIMEOUT,
 ) -> None:
     """Entry point of one campaign worker process.
 
@@ -127,6 +186,9 @@ def worker_main(
     memoised per worker.  ``throttle`` is a runtime test hook (a sleep
     after each cell so kill/resume tests can interrupt a campaign
     deterministically); it never enters the plan or artifact.
+
+    See the module docstring for starvation, SIGTERM-drain and
+    per-cell-timeout semantics.
     """
     config = CampaignConfig.from_json(config_json)
     cells = enumerate_cells(config)
@@ -135,12 +197,50 @@ def worker_main(
     fingerprints: dict[str, str] = {}
     mappings = []  # SharedCSR handles kept alive while their views are
     writer = ShardWriter(directory, worker)
+    draining = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda s, f: draining.set())
+    idle_since: float | None = None
+    last_beat = 0.0
     try:
-        while True:
+        while not draining.is_set():
             try:
-                index = work_queue.get(timeout=60)
+                index = work_queue.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
-                break
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                    last_beat = now
+                waited = now - idle_since
+                if waited >= starve_timeout:
+                    err = WorkerStarved(
+                        f"work queue empty for {waited:.1f}s "
+                        f"(starvation window {starve_timeout:.1f}s); "
+                        "worker exiting so the stall is attributable",
+                        stage="campaign",
+                        block_id=worker,
+                    )
+                    writer.append(
+                        {
+                            "kind": "diagnostic",
+                            "event": "starved",
+                            "worker": worker,
+                            "waited_s": round(waited, 3),
+                            "error": err.context(),
+                        }
+                    )
+                    break
+                if now - last_beat >= _HEARTBEAT_SECONDS:
+                    last_beat = now
+                    writer.append(
+                        {
+                            "kind": "heartbeat",
+                            "worker": worker,
+                            "waited_s": round(waited, 3),
+                        }
+                    )
+                continue
+            idle_since = None
             if index is None:
                 break
             cell = cells[index]
@@ -172,11 +272,18 @@ def worker_main(
                 config,
                 key=cell_key(cell, fingerprints[cell.matrix], config),
                 worker=worker,
+                cell_timeout=cell_timeout,
             )
             writer.append(line)
             if throttle:
                 time.sleep(throttle)
     finally:
+        if draining.is_set():
+            # the in-flight cell above completed and was fsynced before
+            # this marker: SIGTERM drains, it never tears a checkpoint
+            writer.append(
+                {"kind": "diagnostic", "event": "sigterm-drain", "worker": worker}
+            )
         writer.close()
         for handle in mappings:
             handle.close()

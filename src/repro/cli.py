@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli runall path/to/folder --out results.csv
     python -m repro.cli suite --out results.csv [--limit N]
     python -m repro.cli compare path/to/matrix.mtx
+    python -m repro.cli serve --port 8080
 
 ``suite`` runs the built-in synthetic collection instead of a folder of
 ``.mtx`` files (useful offline); ``compare`` runs the full algorithm
@@ -342,6 +343,35 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the SpGEMM-as-a-service daemon until SIGTERM/SIGINT."""
+    from .resilience.faults import FaultPlan
+    from .serve import ServeConfig, make_server, run_server
+
+    fault_plan = None
+    if args.fault_plan:
+        text = args.fault_plan
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text(encoding="utf-8")
+        fault_plan = FaultPlan.from_json(text)
+    config = ServeConfig(
+        engine=args.engine,
+        executors=args.executors,
+        max_queue=args.queue,
+        default_deadline_ms=args.deadline_ms,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_size=args.cache,
+        supervise_interval_s=args.supervise_interval,
+        shm_prefix=args.shm_prefix,
+        fault_plan=fault_plan,
+    )
+    server = make_server(config, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    return run_server(server, quiet=args.quiet)
+
+
 def cmd_compare(args) -> int:
     """Run the full GPU algorithm line-up on one matrix."""
     matrix = load_matrix(args.matrix)
@@ -488,6 +518,43 @@ def main(argv=None) -> int:
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress output")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="SpGEMM-as-a-service daemon on the warm process pool",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral; the chosen port is "
+                        "printed in the listening line)")
+    p.add_argument("--engine", default="process",
+                   choices=("reference", "batched", "parallel", "process"),
+                   help="primary execution engine (identical results)")
+    p.add_argument("--executors", type=int, default=2,
+                   help="executor threads draining the admission queue")
+    p.add_argument("--queue", type=int, default=8,
+                   help="bounded admission queue capacity (full = HTTP 429)")
+    p.add_argument("--deadline-ms", type=float, default=30000.0,
+                   help="default per-request deadline (expired = HTTP 504)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget for transient worker crashes")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive failures that trip the circuit breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds the tripped breaker stays open")
+    p.add_argument("--cache", type=int, default=128,
+                   help="content-addressed result cache entries")
+    p.add_argument("--supervise-interval", type=float, default=1.0,
+                   help="supervisor period (worker health, shm sweep)")
+    p.add_argument("--shm-prefix", default="repro-serve-",
+                   help="deterministic shared-memory segment namespace")
+    p.add_argument("--fault-plan", default=None,
+                   help="chaos FaultPlan as JSON, or @path to a JSON file")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the listening/drained lines")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("compare", help="full algorithm line-up on one matrix")
     p.add_argument("matrix")

@@ -17,9 +17,20 @@ against the same shadow objects the thread path uses, so the returned
 every simulated statistic stay bit-identical to the reference engine no
 matter how many workers run.
 
-Failure policy: any worker error or lost pipe tears the pool down and
-returns ``None``, and the caller falls back to the thread path *before*
-mutating any block — correctness never depends on process health.
+Failure policy, in two layers.  The pool itself *heals*: a worker that
+dies mid-round is reaped, its pending block states are redistributed
+over the survivors (respawning replacements when none survive), and a
+typed :class:`~repro.resilience.errors.WorkerCrashed` escapes only once
+the retry budget is spent — block execution is side-effect free until
+the serial replay, so a resend computes bit-identical results.  Above
+that, :func:`process_esc_runs` still treats any escaped error as
+"processes unavailable": it tears the pool down and returns ``None``,
+and the caller falls back to the thread path *before* mutating any
+block — correctness never depends on process health.
+
+The pool is thread-safe: the serve daemon's executor threads share it,
+so every public method serialises on one reentrant lock (per-request
+concurrency across the *other* pipeline stages is unaffected).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import atexit
 import hashlib
 import multiprocessing as mp
 import os
+import threading
 import traceback
 
 import numpy as np
@@ -37,6 +49,7 @@ from ..core.esc import EscBlock
 from ..core.load_balance import global_load_balance
 from ..gpu.block import BlockContext
 from ..gpu.cost import CostMeter
+from ..resilience.errors import WorkerCrashed
 from .parallel import ParallelEngine, _ShadowPool, _ShadowTracker
 from .replay import AllocationRecord, OptimisticRun
 from .shm import SharedCSR
@@ -149,6 +162,12 @@ def worker_main(conn) -> None:
             try:
                 if cmd == "load":
                     _, token, meta_a, meta_b, options = msg
+                    old = cache.pop(token, None)
+                    if old is not None:
+                        # re-load after a parent-side re-export (healed
+                        # shm_drop): close the stale handles explicitly
+                        # so their __del__ never races the numpy views
+                        _drop_entry(old)
                     ha = SharedCSR.attach(meta_a)
                     hb = SharedCSR.attach(meta_b)
                     a = ha.matrix()
@@ -206,30 +225,92 @@ class WarmProcessPool:
     when their operand pair is evicted from the LRU and, unconditionally,
     at :meth:`shutdown` (registered via ``atexit``) — so a crashed
     worker can never leak a segment past the parent's lifetime.
+
+    ``segment_prefix`` opts into deterministic segment naming
+    (``<prefix><token16>``): a long-running owner (the serve daemon)
+    can then enumerate and reclaim segments a SIGKILLed previous
+    incarnation leaked, via :func:`repro.engine.shm.sweep_segments`.
     """
 
-    def __init__(self):
+    #: default mid-round retry budget of :meth:`run_esc`
+    DEFAULT_RETRIES = 2
+
+    def __init__(self, *, segment_prefix: str | None = None):
         self._ctx = mp.get_context("spawn")
+        self._lock = threading.RLock()
         self._workers: list[_Worker] = []
         self._exports: dict[str, tuple[SharedCSR, SharedCSR, object]] = {}
+        self.segment_prefix = segment_prefix
+        self.worker_deaths = 0  # workers reaped after dying mid-round
+        self.workers_respawned = 0  # replacements started after a death
 
     # -- workers --------------------------------------------------------
 
     def ensure(self, n: int) -> int:
         """Grow the pool to ``n`` workers; returns the live count."""
-        self._reap()
-        while len(self._workers) < n:
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=worker_main, args=(child_conn,), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append(_Worker(proc, parent_conn))
-        return len(self._workers)
+        with self._lock:
+            self._reap()
+            while len(self._workers) < n:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append(_Worker(proc, parent_conn))
+            return len(self._workers)
 
     def _reap(self) -> None:
-        self._workers = [w for w in self._workers if w.proc.is_alive()]
+        dead = [w for w in self._workers if not w.proc.is_alive()]
+        for w in dead:
+            self._retire(w)
+
+    def _retire(self, w: _Worker) -> None:
+        """Drop one (dead or dying) worker: close its pipe, reap the
+        process.  Its exported segments stay valid — the parent owns
+        them — so surviving workers are unaffected."""
+        if w not in self._workers:
+            return
+        self._workers.remove(w)
+        self.worker_deaths += 1
+        try:
+            w.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if w.proc.is_alive():
+            w.proc.kill()
+        w.proc.join(timeout=2)
+
+    def alive_count(self) -> int:
+        """Live workers (reaps the dead as a side effect)."""
+        with self._lock:
+            self._reap()
+            return len(self._workers)
+
+    def restart_crashed(self, target: int) -> int:
+        """Supervisor hook: reap the dead, respawn back to ``target``.
+
+        Returns the number of replacement workers started.
+        """
+        with self._lock:
+            self._reap()
+            missing = max(0, target - len(self._workers))
+            if missing:
+                self.ensure(target)
+                self.workers_respawned += missing
+            return missing
+
+    def kill_worker(self, index: int) -> bool:
+        """Chaos hook: SIGKILL worker ``index`` (if it exists).
+
+        The corpse is left in place so the death is discovered exactly
+        where production would discover it — at the next send/recv.
+        """
+        with self._lock:
+            if not 0 <= index < len(self._workers):
+                return False
+            self._workers[index].proc.kill()
+            return True
 
     # -- operand placement ----------------------------------------------
 
@@ -244,30 +325,59 @@ class WarmProcessPool:
         h.update(options.cache_fingerprint().encode())
         return h.hexdigest()
 
+    def exported_segment_names(self) -> set[str]:
+        """Names of every segment currently owned by this pool."""
+        with self._lock:
+            return {
+                h.name
+                for sa, sb, _ in self._exports.values()
+                for h in (sa, sb)
+            }
+
     def load(self, a, b, options) -> str:
-        """Export ``(a, b)`` once and return the pair's token."""
-        token = self.operand_token(a, b, options)
-        if token in self._exports:
-            self._exports[token] = self._exports.pop(token)  # refresh LRU
-        else:
-            while len(self._exports) >= _EXPORT_CACHE:
-                old = next(iter(self._exports))
-                sa, sb, _ = self._exports.pop(old)
+        """Export ``(a, b)`` once and return the pair's token.
+
+        Self-healing: if a cached export's segments were unlinked
+        externally (chaos ``shm_drop``, a tmpfs sweep), the pair is
+        re-exported and every worker's load marker is cleared so they
+        re-attach the fresh segments — already-mapped workers keep
+        working off their (still valid) old mapping either way.
+        """
+        with self._lock:
+            token = self.operand_token(a, b, options)
+            entry = self._exports.get(token)
+            if entry is not None and not (entry[0].exists() and entry[1].exists()):
+                sa, sb, _ = self._exports.pop(token)
                 for w in self._workers:
-                    if old in w.loaded:
-                        w.loaded.discard(old)
-                        try:
-                            w.conn.send(("drop", old))
-                        except (BrokenPipeError, OSError):
-                            pass
-                sa.release()
+                    w.loaded.discard(token)
+                sa.release()  # unlink is idempotent; drops our mapping
                 sb.release()
-            self._exports[token] = (
-                SharedCSR.export(a),
-                SharedCSR.export(b),
-                options,
-            )
-        return token
+                entry = None
+            if entry is not None:
+                self._exports[token] = self._exports.pop(token)  # refresh LRU
+            else:
+                while len(self._exports) >= _EXPORT_CACHE:
+                    old = next(iter(self._exports))
+                    sa, sb, _ = self._exports.pop(old)
+                    for w in self._workers:
+                        if old in w.loaded:
+                            w.loaded.discard(old)
+                            try:
+                                w.conn.send(("drop", old))
+                            except (BrokenPipeError, OSError):
+                                pass
+                    sa.release()
+                    sb.release()
+                name_a = name_b = None
+                if self.segment_prefix:
+                    name_a = f"{self.segment_prefix}{token[:16]}a"
+                    name_b = f"{self.segment_prefix}{token[:16]}b"
+                self._exports[token] = (
+                    SharedCSR.export(a, name=name_a),
+                    SharedCSR.export(b, name=name_b),
+                    options,
+                )
+            return token
 
     def _ensure_worker_loaded(self, w: _Worker, token: str) -> None:
         if token in w.loaded:
@@ -281,53 +391,110 @@ class WarmProcessPool:
 
     # -- dispatch -------------------------------------------------------
 
-    def run_esc(self, token: str, states: list[dict], n_workers: int) -> list[dict]:
-        """Fan block states over ``n_workers`` contiguous slices.
+    def run_esc(
+        self,
+        token: str,
+        states: list[dict],
+        n_workers: int,
+        *,
+        retries: int | None = None,
+    ) -> list[dict]:
+        """Fan block states over worker slices; survives worker death.
 
-        Returns per-block result dicts in input order; raises on any
-        worker failure (callers tear the pool down and fall back).
+        Returns per-block result dicts in input order.  A worker that
+        dies mid-round (SIGKILL, OOM, chaos ``worker_kill``) is reaped
+        and its pending states are redistributed over the survivors —
+        respawning replacements when none survive — for up to
+        ``retries`` extra rounds.  Block execution is side-effect free
+        until the serial replay, so a resent state computes the
+        bit-identical result.  Only a spent retry budget raises, and it
+        raises typed :class:`~repro.resilience.errors.WorkerCrashed`;
+        a *deterministic* worker-side exception (a bug, a failed load)
+        still raises ``RuntimeError`` immediately — retrying cannot
+        help it.
         """
-        n = min(n_workers, len(self._workers), len(states))
-        if n < 1:
-            raise RuntimeError("no live workers")
-        bounds = np.linspace(0, len(states), n + 1).astype(int)
-        tasks: list[tuple[_Worker, int, int]] = []
-        for i in range(n):
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            if lo == hi:
-                continue
-            w = self._workers[i]
-            self._ensure_worker_loaded(w, token)
-            w.conn.send(("esc", token, states[lo:hi]))
-            tasks.append((w, lo, hi))
-        results: list[dict | None] = [None] * len(states)
-        for w, lo, hi in tasks:
-            reply = w.conn.recv()
-            if reply[0] != "esc":
-                raise RuntimeError(f"worker esc failed: {reply[1:]}")
-            results[lo:hi] = reply[1]
-        return results  # type: ignore[return-value]
+        if retries is None:
+            retries = self.DEFAULT_RETRIES
+        with self._lock:
+            results: list[dict | None] = [None] * len(states)
+            todo = list(range(len(states)))
+            deaths = 0
+            while todo:
+                self._reap()
+                if not self._workers:
+                    self.ensure(max(1, n_workers))
+                    self.workers_respawned += len(self._workers)
+                live = list(self._workers)
+                n = min(n_workers, len(live), len(todo))
+                bounds = np.linspace(0, len(todo), n + 1).astype(int)
+                tasks: list[tuple[_Worker, list[int]]] = []
+                failed: list[int] = []
+                for i in range(n):
+                    sel = todo[int(bounds[i]) : int(bounds[i + 1])]
+                    if not sel:
+                        continue
+                    w = live[i]
+                    try:
+                        self._ensure_worker_loaded(w, token)
+                        w.conn.send(("esc", token, [states[j] for j in sel]))
+                        tasks.append((w, sel))
+                    except (BrokenPipeError, EOFError, OSError):
+                        self._retire(w)
+                        failed.extend(sel)
+                for w, sel in tasks:
+                    try:
+                        reply = w.conn.recv()
+                    except (EOFError, OSError):
+                        self._retire(w)
+                        failed.extend(sel)
+                        continue
+                    if reply[0] != "esc":
+                        raise RuntimeError(f"worker esc failed: {reply[1:]}")
+                    for j, res in zip(sel, reply[1]):
+                        results[j] = res
+                if failed:
+                    deaths += 1
+                    if deaths > retries:
+                        raise WorkerCrashed(
+                            f"worker died mid-round {deaths} time(s); "
+                            f"retry budget ({retries}) spent with "
+                            f"{len(failed)} block state(s) pending",
+                            stage="ESC",
+                        )
+                failed.sort()
+                todo = failed
+            return results  # type: ignore[return-value]
 
     # -- teardown -------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop workers and unlink every exported segment."""
-        for w in self._workers:
-            try:
-                w.conn.send(("exit",))
-            except (BrokenPipeError, OSError):
-                pass
-        for w in self._workers:
-            w.proc.join(timeout=2)
-            if w.proc.is_alive():  # pragma: no cover - stuck worker
-                w.proc.kill()
-                w.proc.join(timeout=2)
-            w.conn.close()
-        self._workers = []
-        for sa, sb, _ in self._exports.values():
-            sa.release()
-            sb.release()
-        self._exports = {}
+        """Stop workers and unlink every exported segment.
+
+        Teardown escalates instead of waiting on fixed 2 s joins: a
+        polite ``exit`` message, a short join, then ``terminate`` (the
+        workers' loop exits on a closed pipe too), then ``kill`` — so a
+        wedged worker can delay shutdown, never hang it.
+        """
+        with self._lock:
+            for w in self._workers:
+                try:
+                    w.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for w in self._workers:
+                w.proc.join(timeout=1)
+                if w.proc.is_alive():  # pragma: no cover - slow worker
+                    w.proc.terminate()
+                    w.proc.join(timeout=1)
+                if w.proc.is_alive():  # pragma: no cover - stuck worker
+                    w.proc.kill()
+                    w.proc.join(timeout=2)
+                w.conn.close()
+            self._workers = []
+            for sa, sb, _ in self._exports.values():
+                sa.release()
+                sb.release()
+            self._exports = {}
 
 
 _POOL: WarmProcessPool | None = None

@@ -26,7 +26,60 @@ import numpy as np
 
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["SharedCSR"]
+__all__ = ["SharedCSR", "list_segments", "segment_exists", "sweep_segments"]
+
+#: where POSIX shared memory surfaces as files (Linux); existence and
+#: prefix listing degrade gracefully where this mount is absent
+_SHM_DIR = "/dev/shm"
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a named segment still exists (best effort).
+
+    On hosts without a ``/dev/shm`` view the answer is unknowable
+    without attaching (which would perturb the resource tracker), so
+    the conservative answer is ``True``.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return True
+    return os.path.exists(os.path.join(_SHM_DIR, name))
+
+
+def list_segments(prefix: str) -> list[str]:
+    """Names of live segments starting with ``prefix`` (sorted).
+
+    Used by supervisors to enumerate segments a SIGKILLed previous
+    owner of the same deterministic namespace may have leaked.  Returns
+    ``[]`` where ``/dev/shm`` is not visible.
+    """
+    if not prefix:
+        raise ValueError("refusing to list segments without a prefix")
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        name for name in os.listdir(_SHM_DIR) if name.startswith(prefix)
+    )
+
+
+def sweep_segments(names) -> int:
+    """Unlink every named segment that still exists; returns the count.
+
+    The shared reclaim path for deterministic segment namespaces: the
+    campaign runner sweeps the names its plan could have created, and
+    the serve supervisor sweeps its prefix minus the live exports.
+    Unlinking while attachments exist is safe on Linux (the memory goes
+    with the last mapping).
+    """
+    swept = 0
+    for seg in names:
+        try:
+            stale = shared_memory.SharedMemory(name=seg)
+        except FileNotFoundError:
+            continue
+        stale.unlink()
+        stale.close()
+        swept += 1
+    return swept
 
 
 class SharedCSR:
@@ -132,6 +185,15 @@ class SharedCSR:
     def name(self) -> str:
         """Segment name (for tests and diagnostics)."""
         return self._meta["name"]
+
+    def exists(self) -> bool:
+        """Whether the segment name is still linked (best effort).
+
+        ``False`` means an external actor (a chaos fault, a tmpfs
+        sweep) unlinked it: existing mappings stay valid, but new
+        attachers will fail and the owner should re-export.
+        """
+        return segment_exists(self._meta["name"])
 
     def close(self) -> None:
         """Drop this process's mapping (owner and attacher alike).

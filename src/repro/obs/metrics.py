@@ -17,6 +17,7 @@ and samples are emitted in sorted order and floats rendered with
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..gpu.counters import COUNTER_DOC
@@ -81,11 +82,18 @@ class MetricsRegistry:
 
     ``const_labels`` are merged into every sample — the profile CLI uses
     this to label everything with the engine that produced it.
+
+    The registry is thread-safe: every update and export serialises on
+    one reentrant lock, so the serve daemon's executor threads can fold
+    results into a shared registry while ``/metrics`` scrapes it.  The
+    single-threaded callers (profile CLI, campaign merge) pay one
+    uncontended lock acquisition per update — noise next to a run.
     """
 
     def __init__(self, const_labels: dict | None = None) -> None:
         self._families: dict[str, _Family] = {}
         self.const_labels = dict(const_labels or {})
+        self._lock = threading.RLock()
 
     # -- primitive updates -------------------------------------------
 
@@ -113,38 +121,53 @@ class MetricsRegistry:
         """Add ``value`` to a monotonic counter sample."""
         if value < 0:
             raise ValueError(f"counter {name!r} cannot decrease")
-        fam = self._family(name, _KIND_COUNTER, help)
-        key = self._sample(fam, labels)
-        fam.samples[key] = fam.samples.get(key, 0) + value
+        with self._lock:
+            fam = self._family(name, _KIND_COUNTER, help)
+            key = self._sample(fam, labels)
+            fam.samples[key] = fam.samples.get(key, 0) + value
 
     def set_max(self, name: str, value, help: str = "", **labels) -> None:
         """High-water gauge: keep the maximum value observed."""
-        fam = self._family(name, _KIND_GAUGE, help)
-        key = self._sample(fam, labels)
-        if key not in fam.samples or value > fam.samples[key]:
-            fam.samples[key] = value
+        with self._lock:
+            fam = self._family(name, _KIND_GAUGE, help)
+            key = self._sample(fam, labels)
+            if key not in fam.samples or value > fam.samples[key]:
+                fam.samples[key] = value
 
     def set_min(self, name: str, value, help: str = "", **labels) -> None:
         """Low-water gauge: keep the minimum value observed."""
-        fam = self._family(name, _KIND_GAUGE, help)
-        key = self._sample(fam, labels)
-        if key not in fam.samples or value < fam.samples[key]:
-            fam.samples[key] = value
+        with self._lock:
+            fam = self._family(name, _KIND_GAUGE, help)
+            key = self._sample(fam, labels)
+            if key not in fam.samples or value < fam.samples[key]:
+                fam.samples[key] = value
 
     def set(self, name: str, value, help: str = "", **labels) -> None:
         """Plain gauge: last write wins."""
-        fam = self._family(name, _KIND_GAUGE, help)
-        fam.samples[self._sample(fam, labels)] = value
+        with self._lock:
+            fam = self._family(name, _KIND_GAUGE, help)
+            fam.samples[self._sample(fam, labels)] = value
 
     def value(self, name: str, **labels):
         """Read one sample (raises ``KeyError`` when absent)."""
-        fam = self._families[sanitize_metric_name(name)]
-        return fam.samples[sample_key(name, {**self.const_labels, **labels})]
+        with self._lock:
+            fam = self._families[sanitize_metric_name(name)]
+            key = sample_key(name, {**self.const_labels, **labels})
+            return fam.samples[key]
 
     # -- aggregation of pipeline results ------------------------------
 
     def record_result(self, result) -> None:
-        """Fold one :class:`~repro.core.acspgemm.AcSpgemmResult` in."""
+        """Fold one :class:`~repro.core.acspgemm.AcSpgemmResult` in.
+
+        Holds the registry lock for the whole fold so a concurrent
+        export never sees a half-recorded run (the lock is reentrant,
+        so the nested ``inc``/``set`` calls re-enter it cheaply).
+        """
+        with self._lock:
+            self._record_result_locked(result)
+
+    def _record_result_locked(self, result) -> None:
         for cname, cval in sorted(result.counters.snapshot().items()):
             self.inc(
                 "repro_traffic_total",
@@ -261,21 +284,23 @@ class MetricsRegistry:
         """Flat deterministic document: sample key -> value, plus meta."""
         metrics: dict = {}
         meta: dict = {}
-        for name in sorted(self._families):
-            fam = self._families[name]
-            meta[name] = {"type": fam.kind, "help": fam.help}
-            for key in sorted(fam.samples):
-                metrics[key] = fam.samples[key]
+        with self._lock:
+            for name in sorted(self._families):
+                fam = self._families[name]
+                meta[name] = {"type": fam.kind, "help": fam.help}
+                for key in sorted(fam.samples):
+                    metrics[key] = fam.samples[key]
         return {"metrics": metrics, "meta": meta}
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (0.0.4), sorted and stable."""
         lines: list[str] = []
-        for name in sorted(self._families):
-            fam = self._families[name]
-            if fam.help:
-                lines.append(f"# HELP {name} {fam.help}")
-            lines.append(f"# TYPE {name} {fam.kind}")
-            for key in sorted(fam.samples):
-                lines.append(f"{key} {_render_value(fam.samples[key])}")
+        with self._lock:
+            for name in sorted(self._families):
+                fam = self._families[name]
+                if fam.help:
+                    lines.append(f"# HELP {name} {fam.help}")
+                lines.append(f"# TYPE {name} {fam.kind}")
+                for key in sorted(fam.samples):
+                    lines.append(f"{key} {_render_value(fam.samples[key])}")
         return "\n".join(lines) + "\n"

@@ -14,10 +14,19 @@ for the full design.  Public surface:
   ``AcSpgemmOptions(on_failure="fallback")``.
 """
 
-from .errors import ReproError, RestartBudgetExceeded, SanitizerError
+from .errors import (
+    DeadlineExceeded,
+    ReproError,
+    RestartBudgetExceeded,
+    SanitizerError,
+    ServerOverloaded,
+    WorkerCrashed,
+    WorkerStarved,
+)
 from .faults import (
     ADVERSARIAL_MODES,
     FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -32,10 +41,15 @@ from .sanitize import (
 from .degrade import conservative_pool_bytes, fallback_multiply
 
 __all__ = [
+    "DeadlineExceeded",
     "ReproError",
     "RestartBudgetExceeded",
     "SanitizerError",
+    "ServerOverloaded",
+    "WorkerCrashed",
+    "WorkerStarved",
     "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "ADVERSARIAL_MODES",
     "FaultSpec",
     "FaultPlan",

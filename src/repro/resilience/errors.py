@@ -22,6 +22,15 @@ message strings.  The hierarchy:
     input (also a :class:`ValueError`).
   * :class:`SanitizerError` — a sanitizer-mode invariant check failed
     at a stage boundary (state corruption detector).
+  * :class:`WorkerCrashed` — a warm worker process died mid-round and
+    the pool's retry budget could not mask it.
+  * :class:`WorkerStarved` — a campaign worker waited on a wedged work
+    queue past the starvation window.
+  * :class:`ServerOverloaded` — the serve daemon's bounded admission
+    queue is full; the request is rejected with backpressure instead
+    of buffering without bound.
+  * :class:`DeadlineExceeded` — a request (or campaign cell) ran past
+    its wallclock deadline.
 
 This module is import-light on purpose: it must be importable from
 ``repro.sparse``, ``repro.gpu`` and ``repro.core`` alike without
@@ -30,7 +39,15 @@ creating cycles.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "RestartBudgetExceeded", "SanitizerError"]
+__all__ = [
+    "DeadlineExceeded",
+    "ReproError",
+    "RestartBudgetExceeded",
+    "SanitizerError",
+    "ServerOverloaded",
+    "WorkerCrashed",
+    "WorkerStarved",
+]
 
 
 class ReproError(Exception):
@@ -104,4 +121,45 @@ class SanitizerError(ReproError):
     lists, row coverage) rather than a recoverable resource condition;
     the sanitizer exists to catch races and bookkeeping bugs in engine
     work early.
+    """
+
+
+class WorkerCrashed(ReproError):
+    """A warm worker process died and recovery could not mask it.
+
+    :meth:`~repro.engine.process.WarmProcessPool.run_esc` reaps dead
+    workers, redistributes their pending block states and respawns
+    replacements; this error escapes only once the retry budget is
+    spent.  It is *transient* by nature — the serve daemon retries it
+    with backoff before degrading.
+    """
+
+
+class WorkerStarved(ReproError):
+    """A campaign worker's work queue stayed empty past the starvation
+    window.
+
+    A wedged queue (dead parent, lost sentinel) used to make workers
+    exit silently after a 60 s timeout; now the worker checkpoints this
+    typed diagnostic to its shard before exiting so the stall is
+    attributable post-mortem.
+    """
+
+
+class ServerOverloaded(ReproError):
+    """The serve daemon's bounded admission queue is full.
+
+    Backpressure, not OOM: the request is rejected immediately with a
+    typed error (HTTP 429) instead of queueing without bound.  Clients
+    are expected to back off and retry.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A request or campaign cell ran past its wallclock deadline.
+
+    For serve requests the deadline covers queue wait plus execution;
+    an expired request is cancelled if still queued and surfaced as a
+    typed rejection (HTTP 504) either way.  For campaign cells the
+    timeout counts against the per-cell retry budget.
     """

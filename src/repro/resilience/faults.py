@@ -37,6 +37,31 @@ Fault classes
     trip + pool growth) like a real mid-kernel casualty.  Decided in
     the driver from the round's pending list, so engine-identical.
 
+Process-level (serve) fault classes
+-----------------------------------
+
+These move the failure surface up a level — from one multiply to the
+long-running serve daemon — and are consumed at a single chokepoint:
+the server consults :meth:`FaultInjector.serve_faults` with the
+1-based request admission ordinal before executing each request, so a
+chaos run is deterministic given the plan.
+
+``worker_kill``
+    ``SIGKILL`` warm-pool worker ``worker`` when request ``at`` starts
+    executing.  Exercises the pool's mid-round reap/redistribute/respawn
+    healing and the server's retry-with-backoff path.
+
+``shm_drop``
+    Unlink the shared-memory segments of the pool's oldest exported
+    operand pair when request ``at`` starts executing (an external
+    ``/dev/shm`` sweep or tmpfs eviction).  Exercises the pool's
+    re-export heal in :meth:`~repro.engine.process.WarmProcessPool.load`.
+
+``request_delay``
+    Sleep ``delay_ms`` before executing request ``at`` — the "slow
+    request that starves the queue" scenario; pushes the request (and
+    queued followers) toward their deadlines.
+
 Adversarial inputs (NaN/Inf values, index-dtype overflow, non-canonical
 CSR) are not runtime faults but input corruptions; :func:`corrupt_csr`
 produces them deterministically from a seed and input validation is
@@ -58,6 +83,7 @@ import numpy as np
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "ADVERSARIAL_MODES",
     "FaultSpec",
     "FaultPlan",
@@ -65,7 +91,13 @@ __all__ = [
     "corrupt_csr",
 ]
 
-FAULT_KINDS = ("pool_exhaust", "scratchpad_overflow", "block_abort")
+#: per-multiply pipeline faults (engine-identical chokepoints)
+PIPELINE_FAULT_KINDS = ("pool_exhaust", "scratchpad_overflow", "block_abort")
+
+#: process-level faults consumed by the serve daemon per request ordinal
+SERVE_FAULT_KINDS = ("worker_kill", "shm_drop", "request_delay")
+
+FAULT_KINDS = PIPELINE_FAULT_KINDS + SERVE_FAULT_KINDS
 
 #: input corruption modes understood by :func:`corrupt_csr`
 ADVERSARIAL_MODES = (
@@ -86,16 +118,24 @@ class FaultSpec:
 
     kind: str
     stage: str | None = None  # scratchpad_overflow / block_abort
-    at: int | None = None  # pool_exhaust: 1-based admission ordinal
+    at: int | None = None  # 1-based ordinal (pool admission / serve request)
     round: int | None = None  # round index within the stage (from 0)
     block: int | None = None  # position within the round's pending list
+    worker: int | None = None  # worker_kill: warm-pool worker index
+    delay_ms: float | None = None  # request_delay: injected latency
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind == "pool_exhaust":
+        if self.kind == "pool_exhaust" or self.kind in SERVE_FAULT_KINDS:
             if self.at is None or self.at < 1:
-                raise ValueError("pool_exhaust needs a 1-based 'at' ordinal")
+                raise ValueError(f"{self.kind} needs a 1-based 'at' ordinal")
+            if self.kind == "worker_kill":
+                if self.worker is None or self.worker < 0:
+                    raise ValueError("worker_kill needs a worker index >= 0")
+            if self.kind == "request_delay":
+                if self.delay_ms is None or self.delay_ms <= 0:
+                    raise ValueError("request_delay needs delay_ms > 0")
         else:
             if self.stage not in _STAGES:
                 raise ValueError(
@@ -115,6 +155,8 @@ class FaultSpec:
                 ("at", self.at),
                 ("round", self.round),
                 ("block", self.block),
+                ("worker", self.worker),
+                ("delay_ms", self.delay_ms),
             )
             if v is not None
         }
@@ -198,6 +240,10 @@ class FaultInjector:
         for f in plan.faults:
             if f.kind == "block_abort":
                 self._aborts.setdefault((f.stage, f.round), set()).add(f.block)
+        self._serve: dict[int, list[FaultSpec]] = {}
+        for f in plan.faults:
+            if f.kind in SERVE_FAULT_KINDS:
+                self._serve.setdefault(f.at, []).append(f)
         self.admissions = 0  # pool admission attempts seen so far
         self.fired: list[dict] = []  # injection log (campaign reporting)
 
@@ -246,6 +292,20 @@ class FaultInjector:
             }
         )
         return frozenset(positions)
+
+    # -- chokepoint 3: serve request execution ----------------------------
+
+    def serve_faults(self, request_ordinal: int) -> list[FaultSpec]:
+        """Process-level faults to apply before executing request N.
+
+        The serve daemon owns the effects (killing a pool worker,
+        unlinking a segment, sleeping) — this module stays import-light.
+        Returned specs are logged as fired, in plan order.
+        """
+        specs = self._serve.get(request_ordinal, [])
+        for spec in specs:
+            self.fired.append(spec.to_dict())
+        return list(specs)
 
 
 # ---------------------------------------------------------------------------

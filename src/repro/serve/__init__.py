@@ -1,0 +1,21 @@
+"""SpGEMM-as-a-service: the supervised, overload-tolerant serve daemon.
+
+``repro serve`` keeps the expensive state of the process engine — warm
+worker processes and shared-memory operands — alive across requests
+and puts a hardened admission pipeline in front of it: bounded queue,
+deadlines, retry with backoff, a circuit breaker that degrades to the
+global-ESC fallback, and a supervisor that heals crashed workers and
+sweeps stale shared memory.  See :mod:`repro.serve.core` for the
+policy and :mod:`repro.serve.server` for the HTTP transport.
+"""
+
+from .core import ServeConfig, ServeCore
+from .server import ReproServer, make_server, run_server
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "ServeCore",
+    "make_server",
+    "run_server",
+]

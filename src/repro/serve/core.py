@@ -1,0 +1,696 @@
+"""The serve daemon's engine-facing core: admission, execution, caching.
+
+:class:`ServeCore` is the HTTP-free heart of ``repro serve``.  It owns
+the request lifecycle end to end and guarantees the daemon's contract:
+**every admitted request resolves to exactly one typed outcome** —
+
+``success``
+    The adaptive pipeline produced the result (possibly served from the
+    content-addressed cache without executing anything).
+``degraded``
+    The pipeline failed (or the circuit breaker is open) and the
+    global-ESC fallback computed the result instead — degraded, never
+    dropped, and still correct (see :mod:`repro.resilience.degrade`).
+``rejected``
+    The request was shed with a typed error: the bounded admission
+    queue was full (:class:`~repro.resilience.errors.ServerOverloaded`,
+    HTTP 429) or the deadline expired before a result was ready
+    (:class:`~repro.resilience.errors.DeadlineExceeded`, HTTP 504).
+``error``
+    The request itself was invalid (unparseable matrix, unknown name);
+    deterministic, never retried (HTTP 400/404).
+
+Hardening layers, outermost first:
+
+* **Bounded admission** — ``queue.Queue(maxsize=max_queue)``; a full
+  queue rejects immediately instead of buffering without bound.
+* **Deadlines** — each request waits at most ``deadline_ms`` for its
+  job to finish; an expired wait is surfaced as a typed rejection.  The
+  executor still finishes (and caches) the abandoned job, so the work
+  is not wasted.
+* **Retry with backoff** — transient errors (a warm worker crashed past
+  the pool's own healing budget) are retried with exponential backoff
+  before anything is degraded.
+* **Circuit breaker** — ``breaker_threshold`` consecutive primary
+  failures trip the breaker: requests route straight to the global-ESC
+  fallback (degraded-not-dropped) until a cooldown elapses, then one
+  half-open probe decides whether to close it again.
+* **Supervision** — a daemon thread health-checks the warm pool,
+  respawns crashed workers and sweeps stale ``/dev/shm`` segments a
+  previous SIGKILLed incarnation may have leaked (the pool's
+  deterministic ``segment_prefix`` names make them enumerable).
+
+Chaos is first-class: a :class:`~repro.resilience.faults.FaultPlan`
+with serve-level faults (``worker_kill`` / ``shm_drop`` /
+``request_delay``) is consulted at one deterministic chokepoint — the
+1-based *execution ordinal* assigned when an executor picks a request
+up — so a chaos run is reproducible given the plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import tempfile
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..bench.harness import CACHE_VERSION
+from ..core import AcSpgemmOptions, ac_spgemm
+from ..engine import process as process_mod
+from ..engine.shm import list_segments, sweep_segments
+from ..obs.metrics import MetricsRegistry
+from ..resilience.degrade import fallback_multiply
+from ..resilience.errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServerOverloaded,
+    WorkerCrashed,
+)
+from ..resilience.faults import FaultPlan
+from ..sparse import COOMatrix, read_matrix_market, squared_operands
+
+__all__ = ["ServeConfig", "ServeCore"]
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+#: errors worth retrying — the failure is environmental, not a property
+#: of the input, so an identical resend can succeed
+_TRANSIENT = (WorkerCrashed, ConnectionError)
+
+_BREAKER_CLOSED = 0
+_BREAKER_HALF_OPEN = 1
+_BREAKER_OPEN = 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serve daemon (all runtime knobs, never cached)."""
+
+    engine: str = "process"  # pipeline engine for primary execution
+    executors: int = 2  # executor threads draining the queue
+    max_queue: int = 8  # bounded admission queue capacity
+    default_deadline_ms: float = 30_000.0  # per-request wait budget
+    retries: int = 2  # extra attempts for transient errors
+    backoff_base_ms: float = 10.0  # first backoff sleep
+    backoff_cap_ms: float = 200.0  # backoff ceiling
+    breaker_threshold: int = 3  # consecutive failures to trip open
+    breaker_cooldown_s: float = 5.0  # open -> half-open delay
+    cache_size: int = 128  # content-addressed result cache entries
+    supervise_interval_s: float = 1.0  # supervisor loop period
+    shm_prefix: str = "repro-serve-"  # deterministic segment namespace
+    fault_plan: FaultPlan | None = None  # serve-level chaos, or None
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "executors": self.executors,
+            "max_queue": self.max_queue,
+            "default_deadline_ms": self.default_deadline_ms,
+            "retries": self.retries,
+            "backoff_base_ms": self.backoff_base_ms,
+            "backoff_cap_ms": self.backoff_cap_ms,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_cooldown_s": self.breaker_cooldown_s,
+            "cache_size": self.cache_size,
+            "supervise_interval_s": self.supervise_interval_s,
+            "shm_prefix": self.shm_prefix,
+            "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
+        }
+
+
+@dataclass
+class _Job:
+    """One admitted multiply travelling from handler to executor."""
+
+    a: object
+    b: object
+    dtype: np.dtype
+    cache_key: str
+    matrix_fp: str
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+    abandoned: bool = False  # requester gave up (deadline); finish anyway
+
+
+class _Breaker:
+    """Consecutive-failure circuit breaker (closed / open / half-open).
+
+    Not thread-safe on its own — the core serialises calls under its
+    lock.  ``clock`` is injectable so tests control the cooldown.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float, clock=time.monotonic):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.probing = False
+        self.opens = 0  # lifetime trips, for metrics
+
+    @property
+    def state(self) -> int:
+        if self.opened_at is None:
+            return _BREAKER_CLOSED
+        if self.clock() - self.opened_at >= self.cooldown_s:
+            return _BREAKER_HALF_OPEN
+        return _BREAKER_OPEN
+
+    def route_primary(self) -> bool:
+        """Should the next request try the primary pipeline?
+
+        Closed: yes.  Open: no.  Half-open: yes for exactly one probe
+        at a time; concurrent requests keep falling back until the
+        probe's verdict is in.
+        """
+        st = self.state
+        if st == _BREAKER_CLOSED:
+            return True
+        if st == _BREAKER_HALF_OPEN and not self.probing:
+            self.probing = True
+            return True
+        return False
+
+    def succeeded(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self.probing = False
+
+    def failed(self) -> None:
+        self.failures += 1
+        self.probing = False
+        if self.opened_at is not None:
+            # a failed half-open probe re-opens with a fresh cooldown
+            self.opened_at = self.clock()
+        elif self.failures >= self.threshold:
+            self.opened_at = self.clock()
+            self.opens += 1
+
+    def state_name(self) -> str:
+        return ("closed", "half-open", "open")[self.state]
+
+
+class ServeCore:
+    """Request lifecycle owner of the serve daemon (HTTP-free).
+
+    ``multiply`` is injectable for tests (defaults to
+    :func:`repro.core.ac_spgemm`); it must accept ``(a, b, options)``
+    and return an ``AcSpgemmResult``.  ``clock`` feeds the breaker.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *,
+                 multiply=None, clock=time.monotonic):
+        self.config = config or ServeConfig()
+        self._multiply = multiply if multiply is not None else ac_spgemm
+        self._lock = threading.RLock()
+        self.metrics = MetricsRegistry(const_labels={"service": "repro-serve"})
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
+        self._breaker = _Breaker(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown_s,
+            clock,
+        )
+        self._cache: OrderedDict[str, dict] = OrderedDict()
+        self._latencies: deque[float] = deque(maxlen=512)
+        self._injector = (
+            self.config.fault_plan.activate() if self.config.fault_plan else None
+        )
+        self._executed = 0  # execution ordinals handed out (chaos chokepoint)
+        self._accepting = True
+        self._stop = threading.Event()
+        # matrix registries: name -> built CSR, fingerprint -> name
+        self._matrices: dict[str, object] = {}
+        self._by_fingerprint: dict[str, str] = {}
+        self._entries = None  # lazy name -> SuiteEntry map
+
+        # The daemon executes on the process-wide warm pool (that is
+        # what engine="process" dispatches to); adopt it and give it
+        # this daemon's deterministic segment namespace so a previous
+        # SIGKILLed incarnation's leaked segments are enumerable.
+        self.pool = process_mod.warm_pool()
+        self.pool.segment_prefix = self.config.shm_prefix
+        swept = self.sweep_stale_segments()
+        if swept:
+            self.metrics.inc(
+                "repro_serve_shm_swept_total", swept,
+                help="Stale shared-memory segments reclaimed.",
+            )
+
+        self._executors = [
+            threading.Thread(
+                target=self._executor_loop, name=f"serve-exec-{i}", daemon=True
+            )
+            for i in range(max(1, self.config.executors))
+        ]
+        for t in self._executors:
+            t.start()
+        self._supervisor = threading.Thread(
+            target=self._supervisor_loop, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # -- request resolution -------------------------------------------
+
+    def _entry_map(self):
+        if self._entries is None:
+            from ..campaign.plan import tiny_entries
+            from ..matrices.collection import NAMED_COLLECTION
+            from ..matrices.suite import suite_entries
+
+            self._entries = {}
+            for e in list(tiny_entries()) + list(suite_entries()) + list(
+                NAMED_COLLECTION
+            ):
+                self._entries.setdefault(e.name, e)
+        return self._entries
+
+    def _register_matrix(self, name: str, matrix) -> str:
+        from ..campaign.plan import matrix_fingerprint
+
+        fp = matrix_fingerprint(matrix)
+        with self._lock:
+            self._matrices[name] = matrix
+            self._by_fingerprint[fp] = name
+        return fp
+
+    def _resolve_matrix(self, payload: dict):
+        """The operand matrix of one request: ``(name, matrix, fp)``.
+
+        Raises ``LookupError`` for unknown identifiers (HTTP 404) and
+        ``ValueError`` / typed I-O errors for malformed inline matrices
+        (HTTP 400).
+        """
+        from ..campaign.plan import matrix_fingerprint
+
+        if "matrix" in payload:
+            name = str(payload["matrix"])
+            with self._lock:
+                m = self._matrices.get(name)
+            if m is None:
+                entry = self._entry_map().get(name)
+                if entry is None:
+                    raise LookupError(f"unknown matrix {name!r}")
+                m = entry.build()
+                return name, m, self._register_matrix(name, m)
+            return name, m, matrix_fingerprint(m)
+        if "matrix_hash" in payload:
+            fp = str(payload["matrix_hash"])
+            with self._lock:
+                name = self._by_fingerprint.get(fp)
+                m = self._matrices.get(name) if name else None
+            if m is None:
+                raise LookupError(
+                    f"unknown matrix hash {fp!r} (matrices are registered "
+                    "the first time they are served by name or inline)"
+                )
+            return name, m, fp
+        if "coo" in payload:
+            d = payload["coo"]
+            try:
+                m = COOMatrix(
+                    rows=int(d["rows"]),
+                    cols=int(d["cols"]),
+                    row_idx=np.asarray(d["row_idx"], dtype=np.int64),
+                    col_idx=np.asarray(d["col_idx"], dtype=np.int64),
+                    values=np.asarray(d["values"], dtype=np.float64),
+                ).to_csr()
+            except KeyError as exc:  # a 400, not the 404 LookupError means
+                raise ValueError(f"coo payload missing field {exc}") from None
+            fp = self._register_matrix(f"inline-{matrix_fingerprint(m)}", m)
+            return f"inline-{fp}", m, fp
+        if "mtx" in payload:
+            with tempfile.NamedTemporaryFile(
+                "w", suffix=".mtx", delete=False
+            ) as fh:
+                fh.write(str(payload["mtx"]))
+                path = fh.name
+            try:
+                m = read_matrix_market(path, strict=True)
+            finally:
+                Path(path).unlink(missing_ok=True)
+            fp = self._register_matrix(f"inline-{matrix_fingerprint(m)}", m)
+            return f"inline-{fp}", m, fp
+        raise ValueError(
+            "request needs one of: matrix, matrix_hash, coo, mtx"
+        )
+
+    def _options(self, dtype) -> AcSpgemmOptions:
+        return AcSpgemmOptions(
+            value_dtype=np.dtype(dtype),
+            engine=self.config.engine,
+            on_failure="raise",  # the core owns degradation, not the driver
+        )
+
+    def _cache_key(self, matrix_fp: str, options: AcSpgemmOptions) -> str:
+        """Campaign-style content address of one multiply's result."""
+        payload = "|".join(
+            (
+                matrix_fp,
+                options.cache_fingerprint(),
+                str(CACHE_VERSION),
+                "squared",  # the request semantics: C = A' @ A''
+            )
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+    # -- admission -----------------------------------------------------
+
+    def handle(self, payload: dict) -> dict:
+        """Resolve one request to a typed outcome (never raises).
+
+        Returns the response body; ``status`` carries the HTTP code for
+        the transport layer.
+        """
+        t0 = time.monotonic()
+        try:
+            deadline_ms = float(
+                payload.get("deadline_ms", self.config.default_deadline_ms)
+            )
+            dtype_name = str(payload.get("dtype", "float64"))
+            if dtype_name not in _DTYPES:
+                raise ValueError(f"unknown dtype {dtype_name!r}")
+            name, matrix, fp = self._resolve_matrix(payload)
+        except LookupError as exc:
+            return self._reply("error", 404, t0, reason=str(exc))
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return self._reply("error", 400, t0, reason=str(exc))
+
+        options = self._options(_DTYPES[dtype_name])
+        cache_key = self._cache_key(fp, options)
+        with self._lock:
+            hit = self._cache.get(cache_key)
+            if hit is not None:
+                self._cache.move_to_end(cache_key)
+        if hit is not None:
+            self.metrics.inc(
+                "repro_serve_cache_hits_total",
+                help="Requests answered from the result cache.",
+            )
+            return self._reply(
+                "success", 200, t0,
+                matrix=name, cached=True, result=dict(hit),
+            )
+
+        a, b = squared_operands(matrix)
+        job = _Job(a=a, b=b, dtype=np.dtype(_DTYPES[dtype_name]),
+                   cache_key=cache_key, matrix_fp=fp)
+        if not self._accepting:
+            err = ServerOverloaded("server is shutting down", stage="serve")
+            return self._reply(
+                "rejected", 503, t0, matrix=name, reason=err.one_line()
+            )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            err = ServerOverloaded(
+                f"admission queue full ({self.config.max_queue} pending)",
+                stage="serve",
+            )
+            self.metrics.inc(
+                "repro_serve_rejected_total", reason="overload",
+                help="Requests shed with a typed rejection.",
+            )
+            return self._reply(
+                "rejected", 429, t0, matrix=name, reason=err.one_line()
+            )
+        self.metrics.set_max(
+            "repro_serve_queue_high_water", self._queue.qsize(),
+            help="Deepest admission queue observed.",
+        )
+
+        if not job.done.wait(timeout=deadline_ms / 1000.0):
+            job.abandoned = True  # executor will still finish + cache it
+            err = DeadlineExceeded(
+                f"no result within {deadline_ms:.0f} ms "
+                "(queue wait + execution)",
+                stage="serve",
+            )
+            self.metrics.inc(
+                "repro_serve_rejected_total", reason="deadline",
+                help="Requests shed with a typed rejection.",
+            )
+            return self._reply(
+                "rejected", 504, t0, matrix=name, reason=err.one_line()
+            )
+        resp = dict(job.response or {})
+        outcome = resp.pop("outcome", "degraded")
+        reason = resp.pop("reason", None)
+        return self._reply(
+            outcome, 200, t0, matrix=name, cached=False,
+            reason=reason, result=resp or None,
+        )
+
+    def _reply(self, outcome: str, status: int, t0: float, **extra) -> dict:
+        latency_ms = (time.monotonic() - t0) * 1e3
+        with self._lock:
+            self._latencies.append(latency_ms)
+            lats = sorted(self._latencies)
+            p50 = lats[len(lats) // 2]
+            p99 = lats[min(len(lats) - 1, int(len(lats) * 0.99))]
+        self.metrics.inc(
+            "repro_serve_requests_total", outcome=outcome,
+            help="Requests resolved, by typed outcome.",
+        )
+        self.metrics.set("repro_serve_latency_ms", p50, quantile="p50",
+                         help="Recent request latency quantiles.")
+        self.metrics.set("repro_serve_latency_ms", p99, quantile="p99",
+                         help="Recent request latency quantiles.")
+        body = {"outcome": outcome, "status": status,
+                "latency_ms": round(latency_ms, 3)}
+        for k, v in extra.items():
+            if v is not None:
+                body[k] = v
+        return body
+
+    # -- execution -----------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                break
+            try:
+                job.response = self._execute(job)
+            except Exception as exc:  # noqa: BLE001 - never hang a waiter
+                job.response = {
+                    "outcome": "degraded",
+                    "reason": f"unexpected executor error: {exc!r}",
+                }
+            finally:
+                job.done.set()
+                self._queue.task_done()
+
+    def _apply_chaos(self, ordinal: int) -> None:
+        """Fire this execution ordinal's serve-level faults, if any."""
+        if self._injector is None:
+            return
+        for spec in self._injector.serve_faults(ordinal):
+            if spec.kind == "worker_kill":
+                self.pool.ensure(process_mod.resolve_process_workers())
+                self.pool.kill_worker(spec.worker)
+            elif spec.kind == "shm_drop":
+                # an external /dev/shm sweep: unlink everything the pool
+                # has exported; load() re-exports on the next multiply
+                sweep_segments(sorted(self.pool.exported_segment_names()))
+            elif spec.kind == "request_delay":
+                time.sleep(spec.delay_ms / 1000.0)
+
+    def _execute(self, job: _Job) -> dict:
+        with self._lock:
+            self._executed += 1
+            ordinal = self._executed
+            try_primary = self._breaker.route_primary()
+        self._apply_chaos(ordinal)
+        options = self._options(job.dtype)
+
+        failure = None
+        if try_primary:
+            attempt = 0
+            while True:
+                try:
+                    result = self._multiply(job.a, job.b, options)
+                    with self._lock:
+                        self._breaker.succeeded()
+                    return self._finish_primary(job, result, attempt, ordinal)
+                except _TRANSIENT as exc:
+                    failure = exc
+                    if attempt >= self.config.retries:
+                        break
+                    attempt += 1
+                    self.metrics.inc(
+                        "repro_serve_retries_total",
+                        help="Transient-error retries of primary execution.",
+                    )
+                    backoff = min(
+                        self.config.backoff_base_ms * (2 ** (attempt - 1)),
+                        self.config.backoff_cap_ms,
+                    )
+                    time.sleep(backoff / 1000.0)
+                except ReproError as exc:
+                    failure = exc  # deterministic failure: degrade, no retry
+                    break
+            with self._lock:
+                self._breaker.failed()
+                self.metrics.set(
+                    "repro_serve_breaker_state",
+                    self._breaker.state,
+                    help="Circuit breaker: 0 closed, 1 half-open, 2 open.",
+                )
+        self.metrics.inc(
+            "repro_serve_degraded_total",
+            reason="breaker-open" if not try_primary else "pipeline-failure",
+            help="Requests served by the global-ESC fallback.",
+        )
+        run = fallback_multiply(job.a, job.b, options)
+        from ..campaign.plan import matrix_fingerprint
+
+        return {
+            "outcome": "degraded",
+            "reason": (
+                failure.one_line()
+                if isinstance(failure, ReproError)
+                else f"circuit breaker {self._breaker.state_name()}"
+            ),
+            "ordinal": ordinal,
+            "digest": matrix_fingerprint(run.matrix),
+            "nnz": run.matrix.nnz,
+            "rows": run.matrix.rows,
+            "cols": run.matrix.cols,
+        }
+
+    def _finish_primary(self, job: _Job, result, retries: int,
+                        ordinal: int) -> dict:
+        from ..campaign.plan import matrix_fingerprint
+
+        summary = {
+            "digest": matrix_fingerprint(result.matrix),
+            "nnz": result.matrix.nnz,
+            "rows": result.matrix.rows,
+            "cols": result.matrix.cols,
+            "sim_ms": round(result.seconds * 1e3, 4),
+            "chunks": result.n_chunks,
+            "restarts": result.restarts,
+            "engine": self.config.engine,
+        }
+        with self._lock:
+            if not result.degraded:  # only clean primaries are cacheable
+                self._cache[job.cache_key] = summary
+                self._cache.move_to_end(job.cache_key)
+                while len(self._cache) > self.config.cache_size:
+                    self._cache.popitem(last=False)
+            self.metrics.set(
+                "repro_serve_cache_entries", len(self._cache),
+                help="Result-cache population.",
+            )
+        self.metrics.record_result(result)
+        return {"outcome": "success", "ordinal": ordinal,
+                "retries": retries, **summary}
+
+    # -- supervision ---------------------------------------------------
+
+    def sweep_stale_segments(self) -> int:
+        """Unlink prefixed ``/dev/shm`` segments this pool does not own."""
+        prefix = self.config.shm_prefix
+        if not prefix:
+            return 0
+        owned = self.pool.exported_segment_names()
+        stale = [n for n in list_segments(prefix) if n not in owned]
+        return sweep_segments(stale)
+
+    def _supervisor_loop(self) -> None:
+        target = process_mod.resolve_process_workers()
+        while not self._stop.wait(self.config.supervise_interval_s):
+            # heal the pool once it has ever been used (alive or reaped
+            # workers exist) — an idle daemon spawns nothing eagerly
+            if self.config.engine == "process" and (
+                self.pool.alive_count() or self.pool.worker_deaths
+            ):
+                restarted = self.pool.restart_crashed(target)
+                if restarted:
+                    self.metrics.inc(
+                        "repro_serve_worker_restarts_total", restarted,
+                        help="Warm-pool workers respawned by the supervisor.",
+                    )
+            swept = self.sweep_stale_segments()
+            if swept:
+                self.metrics.inc(
+                    "repro_serve_shm_swept_total", swept,
+                    help="Stale shared-memory segments reclaimed.",
+                )
+            self.metrics.set(
+                "repro_serve_queue_depth", self._queue.qsize(),
+                help="Admission queue depth at the last supervisor tick.",
+            )
+            with self._lock:
+                self.metrics.set(
+                    "repro_serve_breaker_state", self._breaker.state,
+                    help="Circuit breaker: 0 closed, 1 half-open, 2 open.",
+                )
+            self.metrics.set(
+                "repro_serve_pool_workers_alive", self.pool.alive_count(),
+                help="Live warm-pool workers.",
+            )
+            self.metrics.set(
+                "repro_serve_pool_worker_deaths", self.pool.worker_deaths,
+                help="Warm-pool workers reaped since pool creation.",
+            )
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Deterministically ordered live counters for ``/stats``."""
+        with self._lock:
+            return {
+                "accepting": self._accepting,
+                "breaker": self._breaker.state_name(),
+                "breaker_opens": self._breaker.opens,
+                "cache_entries": len(self._cache),
+                "config": self.config.to_json(),
+                "executed": self._executed,
+                "faults_fired": list(self._injector.fired)
+                if self._injector
+                else [],
+                "pool_worker_deaths": self.pool.worker_deaths,
+                "pool_workers_respawned": self.pool.workers_respawned,
+                "queue_depth": self._queue.qsize(),
+            }
+
+    def healthy(self) -> bool:
+        return self._accepting and not self._stop.is_set()
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self, *, drain: bool = True, teardown_pool: bool = False) -> None:
+        """Stop accepting, optionally drain in-flight work, stop threads.
+
+        ``drain=True`` (the SIGTERM path) lets queued jobs finish so
+        every admitted request still resolves; ``drain=False`` abandons
+        the queue.  The warm pool is shared process state and outlives
+        the core unless ``teardown_pool`` is set (the daemon's exit
+        path — its segments must not survive the process).
+        """
+        self._accepting = False
+        if drain:
+            self._queue.join()
+        self._stop.set()
+        for _ in self._executors:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                pass
+        for t in self._executors:
+            t.join(timeout=5)
+        self._supervisor.join(timeout=5)
+        if teardown_pool:
+            self.pool.shutdown()
+        self.pool.segment_prefix = None

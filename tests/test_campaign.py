@@ -317,3 +317,104 @@ class TestKillResume:
             resumed.artifact_path.read_bytes()
             == clean.artifact_path.read_bytes()
         )
+
+
+# ------------------------------------------------- liveness and drain
+
+
+class TestWorkerLiveness:
+    def test_cell_timeout_raises_typed_and_counts_against_retries(self):
+        entries = tiny_entries()
+        case = MatrixCase(entries[0].name, entries[0].build())
+        cell = enumerate_cells(CampaignConfig(suite="tiny", limit=1))[0]
+        config = CampaignConfig(suite="tiny", limit=1, retries=1)
+
+        def hang(case, alg, dtype, *, verify):
+            time.sleep(30)  # interrupted by SIGALRM long before 30 s
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        t0 = time.monotonic()
+        line = execute_cell(
+            case, cell, config, key="k", worker=0,
+            runner=hang, cell_timeout=0.2,
+        )
+        assert time.monotonic() - t0 < 10
+        assert line["status"] == "failed"
+        assert line["attempts"] == 2  # the timeout consumed the budget
+        assert line["error"]["kind"] == "DeadlineExceeded"
+        assert line["error"]["stage"] == "cell"
+
+    def test_cell_timeout_disarmed_after_fast_cell(self):
+        """The itimer must not fire after a cell finishes in time."""
+        entries = tiny_entries()
+        case = MatrixCase(entries[0].name, entries[0].build())
+        cell = enumerate_cells(CampaignConfig(suite="tiny", limit=1))[0]
+        config = CampaignConfig(suite="tiny", limit=1)
+        line = execute_cell(
+            case, cell, config, key="k", worker=0, cell_timeout=30.0,
+        )
+        assert line["status"] == "ok"
+        time.sleep(0.05)  # a leaked alarm would fire here and kill us
+
+    def test_starved_worker_checkpoints_typed_diagnostic(self, tmp_path):
+        """An empty queue past the starvation window is attributable:
+        the worker records a WorkerStarved diagnostic and exits instead
+        of vanishing silently."""
+        import queue as queue_mod
+
+        from repro.campaign.store import read_shard_diagnostics
+        from repro.campaign.worker import worker_main
+
+        config = CampaignConfig(suite="tiny", limit=1)
+        worker_main(
+            str(tmp_path), 0, config.to_json(), queue_mod.Queue(),
+            starve_timeout=0.6,
+        )
+        diags = read_shard_diagnostics(tmp_path / "shards" / "shard-00.jsonl")
+        starved = [d for d in diags if d.get("event") == "starved"]
+        assert len(starved) == 1
+        assert starved[0]["error"]["kind"] == "WorkerStarved"
+        assert starved[0]["waited_s"] >= 0.6
+        # diagnostics are invisible to resume/merge
+        assert read_shard_lines(
+            tmp_path / "shards" / "shard-00.jsonl"
+        ) == []
+
+    def test_sigterm_drains_in_flight_cell_and_exits_zero(self, tmp_path):
+        """SIGTERM mid-campaign: the worker finishes its current cell,
+        fsyncs it, records a drain marker and exits 0."""
+        import multiprocessing as mp
+
+        from repro.campaign.store import read_shard_diagnostics
+        from repro.campaign.worker import worker_main
+
+        config = CampaignConfig(
+            suite="tiny", limit=1, algorithms=("ac-spgemm",)
+        )
+        ctx = mp.get_context("spawn")
+        work_queue = ctx.Queue()
+        work_queue.put(0)  # one cell, then the queue idles (no sentinel)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(str(tmp_path), 0, config.to_json(), work_queue),
+        )
+        proc.start()
+        try:
+            shard = tmp_path / "shards" / "shard-00.jsonl"
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if read_shard_lines(shard):
+                    break
+                time.sleep(0.1)
+            assert read_shard_lines(shard), "cell never checkpointed"
+            os.kill(proc.pid, signal.SIGTERM)
+            proc.join(timeout=60)
+        finally:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=30)
+        assert proc.exitcode == 0
+        lines = read_shard_lines(shard)
+        assert len(lines) == 1 and lines[0]["status"] == "ok"
+        diags = read_shard_diagnostics(shard)
+        assert any(d.get("event") == "sigterm-drain" for d in diags)

@@ -12,6 +12,8 @@ sweep, and the out-of-band host span profile used by the hotspot bench.
 
 from __future__ import annotations
 
+import os
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -144,6 +146,102 @@ class TestForcedProcessDispatch:
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestPoolHealing:
+    """Mid-round worker death: reap, redistribute, respawn, typed escape."""
+
+    def test_killed_worker_is_healed_and_result_is_bit_identical(
+        self, monkeypatch
+    ):
+        from repro.engine import process as proc_mod
+
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "1")
+        a, b = squared_operands(g.random_uniform(250, 250, 6.0, seed=31))
+        ref = ac_spgemm(a, b, AcSpgemmOptions(engine="reference"))
+        pool = proc_mod.warm_pool()
+        pool.ensure(1)
+        assert pool.kill_worker(0)
+        res = ac_spgemm(a, b, AcSpgemmOptions(engine="process"))
+        assert res.matrix.values.tobytes() == ref.matrix.values.tobytes()
+        assert res.matrix.col_idx.tobytes() == ref.matrix.col_idx.tobytes()
+        assert dict(res.stage_cycles) == dict(ref.stage_cycles)
+        assert proc_mod.warm_pool().worker_deaths >= 1
+
+    def test_restart_crashed_respawns_to_target(self):
+        from repro.engine.process import WarmProcessPool
+
+        pool = WarmProcessPool()
+        try:
+            pool.ensure(2)
+            assert pool.alive_count() == 2
+            assert pool.kill_worker(0)
+            deadline = time.monotonic() + 10
+            while pool.alive_count() > 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            restarted = pool.restart_crashed(2)
+            assert restarted == 1
+            assert pool.alive_count() == 2
+            assert pool.workers_respawned == 1
+        finally:
+            pool.shutdown()
+
+    def test_spent_retry_budget_raises_typed_worker_crashed(self, rng):
+        """A worker that fails every send exhausts the budget with a
+        typed :class:`WorkerCrashed`, not a bare pipe error."""
+        from repro.engine.process import WarmProcessPool, _Worker
+        from repro.resilience.errors import WorkerCrashed
+
+        class _UndeadProc:
+            def is_alive(self):
+                return True  # hides from _reap; dies only at send
+
+            def kill(self):
+                pass
+
+            def join(self, timeout=None):
+                pass
+
+        class _DeadPipe:
+            def send(self, msg):
+                raise BrokenPipeError
+
+            def close(self):
+                pass
+
+        pool = WarmProcessPool()
+        try:
+            m = random_csr(rng, 60, 60, 0.1)
+            opts = AcSpgemmOptions()
+            token = pool.load(m, m, opts)
+            pool._workers.append(_Worker(_UndeadProc(), _DeadPipe()))
+            with pytest.raises(WorkerCrashed) as exc_info:
+                pool.run_esc(token, [{"block_id": 0}], 1, retries=0)
+            assert exc_info.value.stage == "ESC"
+            assert pool.worker_deaths == 1
+        finally:
+            pool.shutdown()
+
+    def test_load_self_heals_after_external_unlink(self, rng):
+        """Chaos ``shm_drop``: an externally unlinked export is detected
+        and re-exported under the same deterministic names."""
+        from repro.engine.process import WarmProcessPool
+        from repro.engine.shm import segment_exists, sweep_segments
+
+        pool = WarmProcessPool(segment_prefix=f"repro-test-heal-{os.getpid()}-")
+        try:
+            m = random_csr(rng, 80, 80, 0.1)
+            opts = AcSpgemmOptions()
+            token = pool.load(m, m, opts)
+            names = sorted(pool.exported_segment_names())
+            assert all(segment_exists(n) for n in names)
+            assert sweep_segments(names) == len(names)  # the chaos fault
+            assert not any(segment_exists(n) for n in names)
+            assert pool.load(m, m, opts) == token
+            assert sorted(pool.exported_segment_names()) == names
+            assert all(segment_exists(n) for n in names)
+        finally:
+            pool.shutdown()
 
 
 class TestCampaignSegmentSweep:
