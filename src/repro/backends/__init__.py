@@ -1,0 +1,29 @@
+"""First-class SpGEMM engine registry and adaptive selection.
+
+See ``docs/ARCHITECTURE.md`` §10.  Importing this package registers
+the built-in engines: ``ac-spgemm``, ``hash-spgemm`` (nsparse-style
+binned scratchpad hash), ``hashmap-spgemm`` (Deveci-style multi-level
+hashmap) and ``adaptive`` (per-multiply routing over the other three).
+"""
+
+from .base import Backend
+from .registry import (
+    available_backends,
+    get_backend,
+    is_backend,
+    register_backend,
+    run_backend,
+)
+from .selector import AdaptiveSelector, SelectionFeatures, collect_features
+
+__all__ = [
+    "AdaptiveSelector",
+    "Backend",
+    "SelectionFeatures",
+    "available_backends",
+    "collect_features",
+    "get_backend",
+    "is_backend",
+    "register_backend",
+    "run_backend",
+]

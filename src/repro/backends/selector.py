@@ -1,0 +1,225 @@
+"""Adaptive engine selection (§5 "choose between alternative approaches").
+
+The selector runs one cheap inspection kernel — the Table-2-style row
+statistics plus the OCEAN-style sampled output estimate — and routes
+the multiply to whichever registered engine predicts the fewest cycles
+for that structure.  The probe is charged like any device pass: its
+cycles land in a ``SEL`` stage, its traffic in the result counters,
+and its device-trace record reconciles exactly; the chosen engine then
+runs *inside* the selector's span tree, so a traced adaptive run looks
+like one pipeline with a routing prologue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.util import row_temp_counts
+from ..core.estimate_sampling import sampled_output_estimate
+from ..core.options import AcSpgemmOptions, DEFAULT_OPTIONS
+from ..gpu.counters import TrafficCounters
+from ..obs.device import DeviceTrace
+from ..obs.span import SpanRecorder
+from .base import Backend
+from .registry import get_backend, register_backend
+
+__all__ = ["SelectionFeatures", "collect_features", "AdaptiveSelector"]
+
+#: rows of B sampled for the column-span probe (as in HybridAdaptive)
+SPAN_SAMPLE_ROWS = 64
+
+
+@dataclass
+class SelectionFeatures:
+    """Table-2-style statistics of one multiply, plus sampled estimates."""
+
+    rows: int
+    cols: int
+    inner: int
+    nnz_a: int
+    nnz_b: int
+    temp_products: int
+    mean_row_a: float
+    max_row_a: float
+    mean_temp_row: float
+    max_temp_row: int
+    #: temporary products per A non-zero (the expansion factor)
+    expansion: float
+    #: OCEAN-style sampled estimate of nnz(C)
+    est_nnz_c: float
+    #: temp products per (estimated) output entry — the compaction ratio
+    compaction: float
+    #: mean sampled B-row column spread over the matrix width (0.0 for
+    #: width-degenerate B — the guard HybridAdaptive was missing)
+    span_fraction: float
+    row_temps: np.ndarray = field(repr=False, default=None)
+    row_lengths_a: np.ndarray = field(repr=False, default=None)
+
+
+def collect_features(a, b, meter=None, *, seed: int = 0) -> SelectionFeatures:
+    """One inspection pass over the operands, charged to ``meter``.
+
+    Degenerate inputs (0×n, n×0, zero nnz, ``b.cols == 0``) produce
+    well-defined all-zero statistics instead of division errors.
+    """
+    a_lengths = np.asarray(a.row_lengths(), dtype=np.int64)
+    temps = np.asarray(row_temp_counts(a, b), dtype=np.int64)
+    temp = int(temps.sum())
+    if meter is not None:
+        meter.global_read(a.rows + 1, 4)
+        meter.global_read(a.nnz, 4)
+        if a.nnz:
+            meter.global_read(min(a.nnz, b.rows), 4, coalesced=False)
+        meter.alu(2 * a.nnz + a.rows)
+
+    # column-span probe: first/last column id of sampled B rows
+    span_fraction = 0.0
+    if b.cols > 0 and b.nnz > 0:
+        step = max(1, b.rows // SPAN_SAMPLE_ROWS)
+        spreads = []
+        sampled_reads = 0
+        for r in range(0, b.rows, step):
+            lo, hi = b.row_ptr[r], b.row_ptr[r + 1]
+            sampled_reads += 2
+            if hi - lo >= 2:
+                sampled_reads += 2
+                spreads.append(int(b.col_idx[hi - 1] - b.col_idx[lo]))
+        if meter is not None:
+            meter.global_read(sampled_reads, 4, coalesced=False)
+        if spreads:
+            span_fraction = float(np.mean(spreads)) / b.cols
+
+    est_nnz_c = sampled_output_estimate(a, b, seed=seed, meter=meter)
+    return SelectionFeatures(
+        rows=a.rows,
+        cols=b.cols,
+        inner=a.cols,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        temp_products=temp,
+        mean_row_a=float(a_lengths.mean()) if a.rows else 0.0,
+        max_row_a=float(a_lengths.max()) if a.rows else 0.0,
+        mean_temp_row=temp / a.rows if a.rows else 0.0,
+        max_temp_row=int(temps.max()) if a.rows else 0,
+        expansion=temp / a.nnz if a.nnz else 0.0,
+        est_nnz_c=est_nnz_c,
+        compaction=temp / est_nnz_c if est_nnz_c > 0 else 1.0,
+        span_fraction=span_fraction,
+        row_temps=temps,
+        row_lengths_a=a_lengths,
+    )
+
+
+@register_backend
+class AdaptiveSelector(Backend):
+    """Route each multiply to the engine predicting the fewest cycles."""
+
+    name = "adaptive"
+    #: the hash engines may be selected
+    bit_stable = False
+
+    #: candidate order doubles as the deterministic tie-break: the
+    #: bit-stable reference engine wins exact ties
+    candidates = ("ac-spgemm", "hash-spgemm", "hashmap-spgemm")
+
+    def select(self, features, options: AcSpgemmOptions | None = None) -> str:
+        """The candidate with the lowest predicted cycle count."""
+        opts = options or DEFAULT_OPTIONS
+        if features.temp_products == 0:
+            # nothing to multiply: any engine is free; keep bit-stable
+            return self.candidates[0]
+        best_name = None
+        best = float("inf")
+        for name in self.candidates:
+            predicted = get_backend(name).predict_cycles(features, opts)
+            if predicted < best:
+                best_name, best = name, predicted
+        return best_name
+
+    def predictions(self, features, options: AcSpgemmOptions | None = None):
+        """Per-candidate predicted cycles (bench/debug helper)."""
+        opts = options or DEFAULT_OPTIONS
+        return {
+            name: get_backend(name).predict_cycles(features, opts)
+            for name in self.candidates
+        }
+
+    def predict_cycles(self, features, options: AcSpgemmOptions | None = None) -> float:
+        opts = options or DEFAULT_OPTIONS
+        return min(
+            get_backend(name).predict_cycles(features, opts)
+            for name in self.candidates
+        )
+
+    def run(self, a, b, options=None, *, spans=None, dtrace=None, scheduler_seed=0):
+        opts = options or DEFAULT_OPTIONS
+        if a.cols != b.rows:
+            raise ValueError(
+                f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
+            )
+        cfg = opts.device
+        launch = opts.costs.kernel_launch_cycles
+        owns_spans = spans is None
+        if owns_spans:
+            spans = SpanRecorder(clock_ghz=cfg.clock_ghz)
+        anchor = spans.start(
+            "adaptive",
+            rows=a.rows,
+            inner=a.cols,
+            cols=b.cols,
+            nnz_a=a.nnz,
+            nnz_b=b.nnz,
+        )
+        if dtrace is None and opts.device_trace:
+            dtrace = DeviceTrace(clock_ghz=cfg.clock_ghz, num_sms=cfg.num_sms)
+
+        # the routing probe is one fused inspection kernel: the
+        # statistics gather and the sampled symbolic estimate share a
+        # launch, so the device-side work parallelises over the SMs and
+        # exactly one launch overhead reaches the makespan
+        probe = self._fresh_meter(opts)
+        features = collect_features(a, b, probe)
+        choice = self.select(features, opts)
+        sel_cycles = (
+            probe.cycles
+            - probe.counters.kernel_launches * launch
+        ) / cfg.num_sms + launch
+        probe.counters.kernel_launches = 1
+        if dtrace is not None:
+            dtrace.record_device_wide(
+                "SEL",
+                "select",
+                start_cycle=spans.now,
+                cycles=sel_cycles,
+                counters=probe.counters.snapshot(),
+            )
+        spans.leaf(
+            "select",
+            sel_cycles,
+            stage="SEL",
+            engine=choice,
+            est_nnz_c=int(features.est_nnz_c),
+            expansion=round(features.expansion, 3),
+        )
+
+        inner = get_backend(choice)
+        result = inner.run(
+            a,
+            b,
+            opts,
+            spans=spans,
+            dtrace=dtrace,
+            scheduler_seed=scheduler_seed,
+        )
+        result.stage_cycles = {"SEL": sel_cycles, **result.stage_cycles}
+        merged = TrafficCounters()
+        merged.merge(probe.counters)
+        merged.merge(result.counters)
+        result.counters = merged
+        result.spans = self._finish_spans(
+            spans, owns_spans, anchor, dispatched_to=choice
+        )
+        result.dispatched_to = choice
+        return result

@@ -60,24 +60,41 @@ class HybridAdaptive(SpGEMMAlgorithm):
 
     def choose(self, a: CSRMatrix, b: CSRMatrix) -> str:
         """Return "esc" or "hash" from an O(rows + nnz) inspection."""
+        return self._inspect(a, b)[0]
+
+    def _inspect(self, a: CSRMatrix, b: CSRMatrix) -> tuple[str, int]:
+        """The dispatch decision plus the probe's actual read volume.
+
+        The second element counts the 4-byte B-side reads the span probe
+        really performed (row-pointer pair plus first/last column id per
+        sampled row), so ``multiply`` can charge what was touched instead
+        of a flat guess.
+        """
         if a.nnz == 0 or b.nnz == 0:
-            return "esc"
+            return "esc", 0
         mean_expansion = float(b.row_lengths()[a.col_idx].mean())
         if mean_expansion <= self.row_length_threshold:
-            return "esc"
+            return "esc", 0
+        if b.cols == 0:
+            # width-degenerate B: no column span to measure (and nothing
+            # for the hash tables to key on) — ESC handles it trivially
+            return "esc", 0
         # estimate the column span a block will see: sample B rows and
         # measure each row's column spread relative to the matrix width
         step = max(1, b.rows // self.structure_sample_rows)
         spreads = []
+        sampled_reads = 0
         for r in range(0, b.rows, step):
             lo, hi = b.row_ptr[r], b.row_ptr[r + 1]
+            sampled_reads += 2  # the row-pointer pair
             if hi - lo >= 2:
+                sampled_reads += 2  # first and last column id
                 spreads.append(int(b.col_idx[hi - 1] - b.col_idx[lo]))
         if spreads and float(np.mean(spreads)) <= (
             self.structure_span_fraction * b.cols
         ):
-            return "esc"  # structured: dynamic bit reduction wins
-        return "hash"
+            return "esc", sampled_reads  # structured: bit reduction wins
+        return "hash", sampled_reads
 
     # -- execution ---------------------------------------------------------
 
@@ -89,12 +106,17 @@ class HybridAdaptive(SpGEMMAlgorithm):
             raise ValueError(
                 f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
             )
-        # the inspection itself costs one streaming pass
+        # the inspection itself costs one streaming pass plus whatever
+        # the span probe actually touched (not a flat min(nnz, 512))
+        decision, sampled_reads = self._inspect(a, b)
         probe = CostMeter(config=self.device, constants=self.costs)
         probe.global_read(a.nnz, 4)
-        probe.global_read(min(b.nnz, 512), 4, coalesced=False)
+        if a.nnz:
+            # gathering B's row lengths for the expansion estimate
+            probe.global_read(min(a.nnz, b.rows), 4, coalesced=False)
+        if sampled_reads:
+            probe.global_read(sampled_reads, 4, coalesced=False)
         probe.kernel_launch()
-        decision = self.choose(a, b)
         inner = self._ac if decision == "esc" else self._hash
         run = inner.multiply(a, b, dtype=dtype, scheduler_seed=scheduler_seed)
         run.algorithm = self.name

@@ -7,6 +7,7 @@
 
 from __future__ import annotations
 
+from ..backends.adapter import _backend_factory
 from ..gpu.config import DeviceConfig, TITAN_XP
 from ..gpu.cost import CostConstants, DEFAULT_COSTS
 from .acspgemm_adapter import AcSpgemm
@@ -24,6 +25,7 @@ from .rmerge import RMerge
 
 __all__ = [
     "GPU_ALGORITHMS",
+    "BACKEND_ALGORITHMS",
     "ALL_ALGORITHMS",
     "make_algorithm",
     "make_lineup",
@@ -38,6 +40,14 @@ GPU_ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     KokkosLike.name: KokkosLike,
 }
 
+#: first-class engines from ``repro.backends`` exposed as algorithms
+#: (``ac-spgemm`` stays the dedicated adapter above); kept out of
+#: ``GPU_ALGORITHMS`` so the paper's figure line-up is unchanged
+BACKEND_ALGORITHMS: dict[str, object] = {
+    name: _backend_factory(name)
+    for name in ("adaptive", "hash-spgemm", "hashmap-spgemm")
+}
+
 ALL_ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     **GPU_ALGORITHMS,
     EscGlobal.name: EscGlobal,
@@ -45,6 +55,7 @@ ALL_ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     GustavsonCPU.name: GustavsonCPU,
     MklLikeCPU.name: MklLikeCPU,
     HybridAdaptive.name: HybridAdaptive,
+    **BACKEND_ALGORITHMS,
 }
 
 

@@ -32,7 +32,7 @@ from ..sparse.stats import matrix_stats, squared_operands
 __all__ = ["MatrixCase", "RunRecord", "ResultCache", "run_case", "default_cache"]
 
 #: bump when generators / cost model / record schema change incompatibly
-CACHE_VERSION = 9
+CACHE_VERSION = 10
 
 
 @dataclass
@@ -116,6 +116,9 @@ class RunRecord:
     correct: bool
     stage_cycles: dict[str, float] = field(default_factory=dict)
     ac_extras: dict[str, float] = field(default_factory=dict)
+    #: engine the adaptive selector routed this cell to ("" when the
+    #: algorithm does not dispatch)
+    dispatched_to: str = ""
 
     def to_json(self) -> dict:
         """Serialisable form for the on-disk cache."""
@@ -173,6 +176,7 @@ def run_case(
         correct=correct,
         stage_cycles=dict(run.stage_cycles),
         ac_extras=extras,
+        dispatched_to=getattr(run, "dispatched_to", "") or "",
     )
 
 
@@ -235,14 +239,22 @@ class ResultCache:
             return RunRecord.from_json(self._data[k])
         alg: str | SpGEMMAlgorithm = algorithm
         if options is not None:
+            from ..backends.adapter import BackendAlgorithm
             from ..baselines.acspgemm_adapter import AcSpgemm
+            from ..baselines.registry import BACKEND_ALGORITHMS
 
-            base = make_algorithm(algorithm)
-            if not isinstance(base, AcSpgemm):
-                raise ValueError(
-                    f"options only apply to ac-spgemm, not {algorithm!r}"
+            if algorithm in BACKEND_ALGORITHMS:
+                alg = BackendAlgorithm(algorithm, options=options)
+            else:
+                base = make_algorithm(algorithm)
+                if not isinstance(base, AcSpgemm):
+                    raise ValueError(
+                        f"options only apply to ac-spgemm or a registered "
+                        f"backend, not {algorithm!r}"
+                    )
+                alg = AcSpgemm(
+                    device=base.device, costs=base.costs, options=options
                 )
-            alg = AcSpgemm(device=base.device, costs=base.costs, options=options)
         rec = run_case(case, alg, dtype, verify=verify)
         self._data[k] = rec.to_json()
         return rec

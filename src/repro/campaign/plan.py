@@ -19,7 +19,7 @@ from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
-from ..baselines.registry import GPU_ALGORITHMS
+from ..baselines.registry import BACKEND_ALGORITHMS, GPU_ALGORITHMS
 from ..bench.harness import CACHE_VERSION
 from ..matrices import generators as g
 from ..matrices.collection import NAMED_COLLECTION
@@ -78,6 +78,7 @@ class CampaignConfig:
     algorithms: tuple[str, ...] = tuple(GPU_ALGORITHMS)
     dtypes: tuple[str, ...] = ("float64",)
     engine: str = "reference"
+    estimator: str = "uniform"
     sanitize: bool = False
     fallback: bool = False
     verify: bool = False
@@ -88,12 +89,15 @@ class CampaignConfig:
             raise CampaignError(
                 f"unknown suite {self.suite!r}; expected one of {SUITES}"
             )
-        unknown = set(self.algorithms) - set(GPU_ALGORITHMS)
+        known = set(GPU_ALGORITHMS) | set(BACKEND_ALGORITHMS)
+        unknown = set(self.algorithms) - known
         if unknown:
             raise CampaignError(f"unknown algorithms {sorted(unknown)}")
         bad = set(self.dtypes) - {"float32", "float64"}
         if bad:
             raise CampaignError(f"unknown dtypes {sorted(bad)}")
+        if self.estimator not in ("uniform", "sampling"):
+            raise CampaignError(f"unknown estimator {self.estimator!r}")
         if self.retries < 0:
             raise CampaignError("retries must be non-negative")
 
@@ -103,12 +107,18 @@ class CampaignConfig:
         ``None`` when every knob is at its default, mirroring the bench
         harness convention (default runs share default cache keys).
         """
-        if self.engine == "reference" and not self.sanitize and not self.fallback:
+        if (
+            self.engine == "reference"
+            and self.estimator == "uniform"
+            and not self.sanitize
+            and not self.fallback
+        ):
             return None
         from ..core.options import AcSpgemmOptions
 
         return AcSpgemmOptions(
             engine=self.engine,
+            estimator=self.estimator,
             sanitize=self.sanitize,
             on_failure="fallback" if self.fallback else "raise",
         )

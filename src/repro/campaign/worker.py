@@ -65,11 +65,20 @@ DEFAULT_STARVE_TIMEOUT = 60.0
 def _algorithm_for(cell: CellSpec, options):
     """Resolve the cell's algorithm, honouring non-default options.
 
-    Mirrors :meth:`ResultCache.get_or_run`: pipeline options only apply
-    to AC-SpGEMM; the fixed-function baselines always run stock.
+    Mirrors :meth:`ResultCache.get_or_run`: pipeline options apply to
+    AC-SpGEMM and to the ``repro.backends`` engines (which run the same
+    pipeline options); the fixed-function baselines always run stock.
     """
-    if options is None or cell.algorithm != "ac-spgemm":
+    from ..baselines.registry import BACKEND_ALGORITHMS
+
+    if options is None or (
+        cell.algorithm != "ac-spgemm" and cell.algorithm not in BACKEND_ALGORITHMS
+    ):
         return cell.algorithm
+    if cell.algorithm in BACKEND_ALGORITHMS:
+        from ..backends.adapter import BackendAlgorithm
+
+        return BackendAlgorithm(cell.algorithm, options=options)
     from ..baselines.acspgemm_adapter import AcSpgemm
     from ..baselines.registry import make_algorithm
 

@@ -56,8 +56,18 @@ CSV_HEADERS = [
     "shared_rows",
     "restarts",
     "degraded",
+    "engine",
+    "dispatched_to",
     "verified",
 ]
+
+#: host execution engines of the AC-SpGEMM pipeline (identical results)
+HOST_ENGINES = ("reference", "batched", "parallel", "process")
+
+#: registered ``repro.backends`` engines selectable via ``--engine``
+BACKEND_ENGINES = ("adaptive", "hash-spgemm", "hashmap-spgemm")
+
+ENGINE_CHOICES = HOST_ENGINES + BACKEND_ENGINES
 
 
 def _workers_arg(value: str):
@@ -81,15 +91,23 @@ def _run_one(
     engine: str = "reference",
     sanitize: bool = False,
     fallback: bool = False,
+    estimator: str = "uniform",
 ) -> dict:
     a, b = squared_operands(matrix)
+    use_backend = engine in BACKEND_ENGINES
     opts = AcSpgemmOptions(
         value_dtype=dtype,
-        engine=engine,
+        engine="reference" if use_backend else engine,
+        estimator=estimator,
         sanitize=sanitize,
         on_failure="fallback" if fallback else "raise",
     )
-    result = ac_spgemm(a, b, opts)
+    if use_backend:
+        from .backends import run_backend
+
+        result = run_backend(engine, a, b, opts)
+    else:
+        result = ac_spgemm(a, b, opts)
     temp = count_intermediate_products(a, b)
     verified = ""
     if verify:
@@ -117,6 +135,8 @@ def _run_one(
         # three-valued: "" = fallback not enabled, "False" = fallback
         # armed but the run stayed clean, "True" = degraded run
         "degraded": str(result.degraded) if fallback else "",
+        "engine": engine,
+        "dispatched_to": result.dispatched_to or "",
         "verified": verified,
     }
 
@@ -134,8 +154,10 @@ def cmd_single(args) -> int:
         Path(args.matrix).stem, matrix,
         dtype=dtype, verify=args.verify, engine=args.engine,
         sanitize=args.sanitize, fallback=args.fallback,
+        estimator=args.estimator,
     )
-    print(f"AC-SpGEMM on {args.matrix} "
+    label = args.engine if args.engine in BACKEND_ENGINES else "AC-SpGEMM"
+    print(f"{label} on {args.matrix} "
           f"({'single' if args.float else 'double'} precision):")
     _print_row(row)
     if args.verify and row["verified"] != "True":
@@ -170,7 +192,8 @@ def cmd_runall(args) -> int:
             rows.append(
                 _run_one(f.stem, load_matrix(f), dtype=dtype,
                          verify=args.verify, engine=args.engine,
-                         sanitize=args.sanitize, fallback=args.fallback)
+                         sanitize=args.sanitize, fallback=args.fallback,
+                         estimator=args.estimator)
             )
             print(f"{f.stem}: {rows[-1]['gflops']} GFLOPS")
         except Exception as exc:  # noqa: BLE001 - isolation by design
@@ -188,7 +211,8 @@ def cmd_suite(args) -> int:
     for e in suite_entries()[: args.limit]:
         rows.append(_run_one(e.name, e.build(), dtype=dtype,
                              verify=args.verify, engine=args.engine,
-                             sanitize=args.sanitize, fallback=args.fallback))
+                             sanitize=args.sanitize, fallback=args.fallback,
+                             estimator=args.estimator))
         print(f"{e.name}: {rows[-1]['gflops']} GFLOPS")
     _write_rows(args.out, rows)
     return 0
@@ -216,6 +240,7 @@ def cmd_profile(args) -> int:
     opts = AcSpgemmOptions(
         value_dtype=np.float32 if args.float else np.float64,
         engine=args.engine,
+        estimator=args.estimator,
         sanitize=args.sanitize,
         on_failure="fallback" if args.fallback else "raise",
         collect_trace=True,
@@ -241,15 +266,26 @@ def cmd_analyze(args) -> int:
 
     name, matrix = _load_profile_matrix(args.matrix)
     a, b = squared_operands(matrix)
+    use_backend = args.engine in BACKEND_ENGINES
     opts = AcSpgemmOptions(
         value_dtype=np.float32 if args.float else np.float64,
-        engine=args.engine,
+        engine="reference" if use_backend else args.engine,
+        estimator=args.estimator,
         sanitize=args.sanitize,
         on_failure="fallback" if args.fallback else "raise",
         device_trace=True,
     )
-    result = ac_spgemm(a, b, opts)
-    report = analyze_result(result, opts, matrix_name=name)
+    if use_backend:
+        from .backends import run_backend
+
+        result = run_backend(args.engine, a, b, opts)
+        label = args.engine
+        if result.dispatched_to:
+            label = f"{args.engine}->{result.dispatched_to}"
+    else:
+        result = ac_spgemm(a, b, opts)
+        label = ""
+    report = analyze_result(result, opts, matrix_name=name, engine=label)
     print(report.text())
     if args.json_out:
         out = report.write_json(args.json_out)
@@ -292,6 +328,7 @@ def cmd_campaign(args) -> int:
         if args.dtypes == "both"
         else (args.dtypes,),
         engine=args.engine,
+        estimator=args.estimator,
         sanitize=args.sanitize,
         fallback=args.fallback,
         verify=args.verify,
@@ -356,6 +393,7 @@ def cmd_serve(args) -> int:
         fault_plan = FaultPlan.from_json(text)
     config = ServeConfig(
         engine=args.engine,
+        backend=args.backend,
         executors=args.executors,
         max_queue=args.queue,
         default_deadline_ms=args.deadline_ms,
@@ -380,11 +418,15 @@ def cmd_compare(args) -> int:
     dtype = np.float32 if args.float else np.float64
     print(f"{args.matrix}: nnz={matrix.nnz}, temp={temp}")
     results = {}
-    for name in GPU_ALGORITHMS:
+    lineup = list(GPU_ALGORITHMS) + list(BACKEND_ENGINES)
+    for name in lineup:
         run = make_algorithm(name).multiply(a, b, dtype=dtype)
         results[name] = run
         stable = "bit-stable" if run.bit_stable else "not bit-stable"
-        print(f"  {name:12s} {run.gflops(temp):8.3f} GFLOPS  ({stable})")
+        routed = getattr(run, "dispatched_to", None)
+        suffix = f"  -> {routed}" if routed else ""
+        print(f"  {name:16s} {run.gflops(temp):8.3f} GFLOPS  "
+              f"({stable}){suffix}")
     best = max(results, key=lambda k: results[k].gflops(temp))
     print(f"fastest: {best}")
     return 0
@@ -403,8 +445,13 @@ def main(argv=None) -> int:
                    help="confirm against the CPU reference (artifact A.6)")
     p.add_argument("--float", action="store_true", help="single precision")
     p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel", "process"),
-                   help="host execution engine (identical results/stats)")
+                   choices=ENGINE_CHOICES,
+                   help="host execution engine, or a registered backend "
+                        "('adaptive' routes each multiply per its structure)")
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"),
+                   help="chunk-pool size estimator (sampling = OCEAN-style "
+                        "sampled symbolic pass)")
     p.add_argument("--sanitize", action="store_true",
                    help="check pipeline invariants at stage boundaries")
     p.add_argument("--fallback", action="store_true",
@@ -416,8 +463,9 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None, help="CSV output path")
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
-    p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel", "process"))
+    p.add_argument("--engine", default="reference", choices=ENGINE_CHOICES)
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_runall)
@@ -427,8 +475,9 @@ def main(argv=None) -> int:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--verify", action="store_true")
     p.add_argument("--float", action="store_true")
-    p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel", "process"))
+    p.add_argument("--engine", default="reference", choices=ENGINE_CHOICES)
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.set_defaults(func=cmd_suite)
@@ -442,6 +491,8 @@ def main(argv=None) -> int:
     p.add_argument("--float", action="store_true", help="single precision")
     p.add_argument("--engine", default="reference",
                    choices=("reference", "batched", "parallel", "process"))
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true")
     p.add_argument("--trace-out", default=None,
@@ -459,8 +510,9 @@ def main(argv=None) -> int:
     p.add_argument("matrix",
                    help="matrix file path, or suite:NAME for a suite entry")
     p.add_argument("--float", action="store_true", help="single precision")
-    p.add_argument("--engine", default="reference",
-                   choices=("reference", "batched", "parallel", "process"))
+    p.add_argument("--engine", default="reference", choices=ENGINE_CHOICES)
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"))
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true",
                    help="degrade on failure (trace gets a truncation marker)")
@@ -498,6 +550,9 @@ def main(argv=None) -> int:
                    choices=("float32", "float64", "both"))
     p.add_argument("--engine", default="reference",
                    choices=("reference", "batched", "parallel", "process"))
+    p.add_argument("--estimator", default="uniform",
+                   choices=("uniform", "sampling"),
+                   help="chunk-pool size estimator for AC-SpGEMM cells")
     p.add_argument("--sanitize", action="store_true")
     p.add_argument("--fallback", action="store_true",
                    help="degrade failing cells to global ESC instead of "
@@ -530,6 +585,10 @@ def main(argv=None) -> int:
     p.add_argument("--engine", default="process",
                    choices=("reference", "batched", "parallel", "process"),
                    help="primary execution engine (identical results)")
+    p.add_argument("--backend", default="ac-spgemm",
+                   choices=("ac-spgemm",) + BACKEND_ENGINES,
+                   help="registered backend serving primary multiplies "
+                        "('adaptive' routes each request per its structure)")
     p.add_argument("--executors", type=int, default=2,
                    help="executor threads draining the admission queue")
     p.add_argument("--queue", type=int, default=8,

@@ -127,6 +127,9 @@ class AcSpgemmResult:
     #: :class:`~repro.obs.device.DeviceTrace`.  Byte-identical across
     #: engines; carries a truncation marker on degraded runs
     device_trace: object | None = None
+    #: backend name this multiply was routed to, set by the adaptive
+    #: selector (``repro.backends``); None for direct engine calls
+    dispatched_to: str | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -161,15 +164,38 @@ def _worker_id(worker) -> int | None:
     return block_id
 
 
+def _finish_spans(spans: SpanRecorder, owns: bool, anchor, **attrs):
+    """Close the recorder we own, or unwind back to an injected anchor.
+
+    When the caller (the adaptive selector) injected its own recorder,
+    the driver must not ``close()`` the whole tree — it finishes spans
+    until its own ``anchor`` span is popped, leaving the caller's root
+    open for further recording.
+    """
+    if owns:
+        return spans.close(**attrs)
+    while spans.current is not anchor:
+        spans.finish()
+    spans.finish(**attrs)
+    return anchor
+
+
 def ac_spgemm(
     a: CSRMatrix,
     b: CSRMatrix,
     options: AcSpgemmOptions | None = None,
+    *,
+    spans: SpanRecorder | None = None,
+    dtrace: DeviceTrace | None = None,
 ) -> AcSpgemmResult:
     """Compute ``C = A @ B`` with AC-SpGEMM on the simulated device.
 
     Deterministic and bit-stable: repeated calls with the same inputs
     and options produce byte-identical results.
+
+    ``spans``/``dtrace`` allow a caller that already opened its own
+    recording context — the adaptive selector in ``repro.backends`` —
+    to nest this run inside it; by default the driver owns both.
 
     Unrecoverable execution failures raise typed
     :class:`~repro.resilience.errors.ReproError` subclasses; with
@@ -181,8 +207,10 @@ def ac_spgemm(
         raise ValueError(
             f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
         )
-    spans = SpanRecorder(clock_ghz=opts.device.clock_ghz)
-    spans.start(
+    owns_spans = spans is None
+    if owns_spans:
+        spans = SpanRecorder(clock_ghz=opts.device.clock_ghz)
+    anchor = spans.start(
         "acspgemm",
         engine=opts.engine,
         rows=a.rows,
@@ -198,17 +226,20 @@ def ac_spgemm(
             # stage-boundary checks cannot distinguish from corruption
             validate_csr(a, require_finite=opts.sanitize)
             validate_csr(b, require_finite=opts.sanitize)
-    dtrace = (
-        DeviceTrace(clock_ghz=opts.device.clock_ghz, num_sms=opts.device.num_sms)
-        if opts.device_trace
-        else None
-    )
+    if dtrace is None and opts.device_trace:
+        dtrace = DeviceTrace(
+            clock_ghz=opts.device.clock_ghz, num_sms=opts.device.num_sms
+        )
     try:
-        return _run_pipeline(a, b, opts, spans, dtrace)
+        return _run_pipeline(
+            a, b, opts, spans, dtrace, owns_spans=owns_spans, anchor=anchor
+        )
     except (PoolExhausted, RestartBudgetExceeded, ScratchpadOverflow, SanitizerError) as exc:
         if opts.on_failure != "fallback":
             raise
-        return _degraded_result(a, b, opts, exc, spans, dtrace)
+        return _degraded_result(
+            a, b, opts, exc, spans, dtrace, owns_spans=owns_spans, anchor=anchor
+        )
 
 
 def _degraded_result(
@@ -218,6 +249,9 @@ def _degraded_result(
     exc: ReproError,
     spans: SpanRecorder,
     dtrace: DeviceTrace | None = None,
+    *,
+    owns_spans: bool = True,
+    anchor=None,
 ) -> AcSpgemmResult:
     """Recompute C with the global-ESC baseline after ``exc``.
 
@@ -263,7 +297,7 @@ def _degraded_result(
         n_chunks=0,
         n_blocks=0,
         clock_ghz=opts.device.clock_ghz,
-        spans=spans.close(degraded=True),
+        spans=spans.close(degraded=True) if owns_spans else anchor,
         degraded=True,
         failure=exc.context(),
         device_trace=dtrace,
@@ -276,6 +310,9 @@ def _run_pipeline(
     opts: AcSpgemmOptions,
     spans: SpanRecorder,
     dtrace: DeviceTrace | None = None,
+    *,
+    owns_spans: bool = True,
+    anchor=None,
 ) -> AcSpgemmResult:
     """The four-stage pipeline proper (validated inputs, typed raises)."""
     cfg = opts.device
@@ -321,8 +358,37 @@ def _run_pipeline(
     spans.leaf("glb", stage_cycles["GLB"], stage="GLB", blocks=glb.n_blocks)
 
     # ---- stage 2: AC-ESC with restart loop ------------------------------
-    with spans.span("estimate") as est:
-        pool_bytes = estimate_chunk_pool_bytes(a, b, opts)
+    with spans.span("estimate", estimator=opts.estimator) as est:
+        if opts.chunk_pool_bytes is not None or opts.estimator == "uniform":
+            pool_bytes = estimate_chunk_pool_bytes(a, b, opts)
+        else:
+            # OCEAN-style sampled symbolic estimate: a real (cheap)
+            # device pass, so it is charged like one — its cycles land
+            # in ESC ahead of the first round and its traffic in the
+            # run counters, keeping the device trace reconcilable
+            from .estimate_sampling import sampled_chunk_pool_bytes
+
+            est_meter = CostMeter(config=cfg, constants=opts.costs)
+            pool_bytes = sampled_chunk_pool_bytes(a, b, opts, meter=est_meter)
+            if est_meter.counters.kernel_launches:
+                # the meter already charged its own launch latency;
+                # keep it out of the device-wide division
+                est_cycles = (
+                    est_meter.cycles - launch
+                ) / cfg.num_sms + launch
+                stage_cycles["ESC"] += est_cycles
+                counters.merge(est_meter.counters)
+                if dtrace is not None:
+                    dtrace.record_device_wide(
+                        "ESC",
+                        "estimate.sample",
+                        start_cycle=spans.now,
+                        cycles=est_cycles,
+                        counters=est_meter.counters.snapshot(),
+                    )
+                spans.leaf(
+                    "estimate.sample", est_cycles, stage="ESC", sampled=True
+                )
         est.attrs["pool_bytes"] = pool_bytes
     pool = ChunkPool(capacity_bytes=pool_bytes)
     tracker = RowChunkTracker(n_rows=a.rows)
@@ -770,7 +836,7 @@ def _run_pipeline(
         shared_rows=assignment.n_shared_rows,
         merge_stats=merge_stats,
         trace=trace,
-        spans=spans.close(restarts=restarts),
+        spans=_finish_spans(spans, owns_spans, anchor, restarts=restarts),
         engine_stats={k: engine.host_stats[k] for k in sorted(engine.host_stats)},
         sm_utilization=util_busy / util_cap if util_cap else 1.0,
         device_trace=dtrace,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gpu.cost import CostMeter
+from ..matrices.generators import SeedLike, as_generator
 from ..sparse.csr import CSRMatrix
 from .options import AcSpgemmOptions
 
@@ -30,20 +31,23 @@ def sampled_output_estimate(
     b: CSRMatrix,
     *,
     sample_rows: int = 64,
-    seed: int = 0,
+    seed: SeedLike = 0,
     safety_factor: float = 1.3,
     meter: CostMeter | None = None,
 ) -> float:
     """Estimate nnz(C) from an exact symbolic pass over sampled rows.
 
-    Sampling is deterministic for a fixed seed.  The cost (charged to
-    ``meter`` when given) is the symbolic expansion of the sampled rows
-    only — for a 64-row sample this is orders of magnitude below a full
-    inspection pass.
+    ``seed`` follows the ``SeedLike`` protocol (int or
+    ``np.random.Generator``): an int resolves through ``as_generator``
+    so the byte stream is identical across processes, and a Generator —
+    e.g. one spawned by ``derive_seed`` in the campaign runner — is
+    consumed in place.  The cost (charged to ``meter`` when given) is
+    the symbolic expansion of the sampled rows only — for a 64-row
+    sample this is orders of magnitude below a full inspection pass.
     """
     if a.rows == 0 or a.nnz == 0 or b.nnz == 0:
         return 0.0
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     k = min(sample_rows, a.rows)
     rows = rng.choice(a.rows, size=k, replace=False)
     rows.sort()
@@ -75,7 +79,7 @@ def sampled_chunk_pool_bytes(
     options: AcSpgemmOptions,
     *,
     sample_rows: int = 64,
-    seed: int = 0,
+    seed: SeedLike = 0,
     lower_bound_bytes: int = 4 * 1024 * 1024,
     meter: CostMeter | None = None,
 ) -> int:

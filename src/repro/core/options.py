@@ -75,6 +75,13 @@ class AcSpgemmOptions:
     long_row_threshold: int | None = None
     chunk_pool_bytes: int | None = None
     chunk_pool_lower_bound_bytes: int = 100 * 1024 * 1024
+    #: chunk-pool sizing strategy: ``"uniform"`` is the paper's §4
+    #: uniform-collision estimate with the 100 MB lower bound;
+    #: ``"sampling"`` is the OCEAN-style sampled symbolic estimate
+    #: (``repro.core.estimate_sampling``) with a 4 MB lower bound —
+    #: restarts absorb the rare underestimates.  Ignored when
+    #: ``chunk_pool_bytes`` pins the pool explicitly.
+    estimator: str = "uniform"
     chunk_meta_factor: float = 1.2
     pool_growth_factor: float = 2.0
     max_restarts: int = 256
@@ -128,6 +135,11 @@ class AcSpgemmOptions:
         if self.path_merge_max_chunks < self.multi_merge_max_chunks:
             raise ValueError(
                 "path_merge_max_chunks must be >= multi_merge_max_chunks"
+            )
+        if self.estimator not in ("uniform", "sampling"):
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; "
+                "expected 'uniform' or 'sampling'"
             )
         if self.chunk_meta_factor < 1.0:
             raise ValueError("chunk_meta_factor must be >= 1.0")

@@ -188,8 +188,15 @@ def reconcile(result) -> dict:
     return summary
 
 
-def analyze_result(result, options, *, matrix_name: str = "") -> "AnalysisReport":
-    """Build the full analysis report for one traced run."""
+def analyze_result(
+    result, options, *, matrix_name: str = "", engine: str = ""
+) -> "AnalysisReport":
+    """Build the full analysis report for one traced run.
+
+    ``engine`` overrides the report label when the run came through a
+    registered backend rather than ``options.engine`` (a routed
+    adaptive run reports the backend, with the dispatch target).
+    """
     dtrace = result.device_trace
     if dtrace is None:
         raise ValueError(
@@ -274,7 +281,7 @@ def analyze_result(result, options, *, matrix_name: str = "") -> "AnalysisReport
 
     return AnalysisReport(
         matrix_name=matrix_name,
-        engine=options.engine,
+        engine=engine or options.engine,
         dtype=options.value_dtype.name,
         truncated=dtrace.truncated,
         truncation_reason=dtrace.truncation_reason,

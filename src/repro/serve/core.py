@@ -93,6 +93,7 @@ class ServeConfig:
     """Tunables of one serve daemon (all runtime knobs, never cached)."""
 
     engine: str = "process"  # pipeline engine for primary execution
+    backend: str = "ac-spgemm"  # registered backend for primary execution
     executors: int = 2  # executor threads draining the queue
     max_queue: int = 8  # bounded admission queue capacity
     default_deadline_ms: float = 30_000.0  # per-request wait budget
@@ -109,6 +110,7 @@ class ServeConfig:
     def to_json(self) -> dict:
         return {
             "engine": self.engine,
+            "backend": self.backend,
             "executors": self.executors,
             "max_queue": self.max_queue,
             "default_deadline_ms": self.default_deadline_ms,
@@ -207,7 +209,20 @@ class ServeCore:
     def __init__(self, config: ServeConfig | None = None, *,
                  multiply=None, clock=time.monotonic):
         self.config = config or ServeConfig()
-        self._multiply = multiply if multiply is not None else ac_spgemm
+        if multiply is not None:
+            self._multiply = multiply
+        elif self.config.backend != "ac-spgemm":
+            from ..backends import run_backend
+
+            backend_name = self.config.backend
+
+            def _backend_multiply(a, b, options):
+                return run_backend(backend_name, a, b, options)
+
+            self._multiply = _backend_multiply
+        else:
+            self._multiply = ac_spgemm
+        self._selections: dict[str, int] = {}
         self._lock = threading.RLock()
         self.metrics = MetricsRegistry(const_labels={"service": "repro-serve"})
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.max_queue)
@@ -354,6 +369,7 @@ class ServeCore:
                 matrix_fp,
                 options.cache_fingerprint(),
                 str(CACHE_VERSION),
+                self.config.backend,  # routed engines never share cells
                 "squared",  # the request semantics: C = A' @ A''
             )
         )
@@ -581,8 +597,24 @@ class ServeCore:
             "chunks": result.n_chunks,
             "restarts": result.restarts,
             "engine": self.config.engine,
+            "backend": self.config.backend,
         }
+        routed = getattr(result, "dispatched_to", None)
+        if routed:
+            summary["dispatched_to"] = routed
+        selected = routed or (
+            self.config.backend if self.config.backend != "ac-spgemm" else None
+        )
+        if selected:
+            self.metrics.inc(
+                "repro_serve_selected_total", engine=selected,
+                help="Primary multiplies by the engine that executed them.",
+            )
         with self._lock:
+            if selected:
+                self._selections[selected] = (
+                    self._selections.get(selected, 0) + 1
+                )
             if not result.degraded:  # only clean primaries are cacheable
                 self._cache[job.cache_key] = summary
                 self._cache.move_to_end(job.cache_key)
@@ -663,6 +695,7 @@ class ServeCore:
                 "pool_worker_deaths": self.pool.worker_deaths,
                 "pool_workers_respawned": self.pool.workers_respawned,
                 "queue_depth": self._queue.qsize(),
+                "selections": dict(sorted(self._selections.items())),
             }
 
     def healthy(self) -> bool:

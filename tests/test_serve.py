@@ -148,8 +148,10 @@ class TestServeCoreOutcomes:
 class TestServeCoreHardening:
     def test_full_queue_rejects_typed_429(self):
         gate = threading.Event()
+        entered = threading.Event()
 
         def blocking_multiply(a, b, options):
+            entered.set()
             gate.wait(timeout=30)
             return ac_spgemm(a, b, options)
 
@@ -162,11 +164,15 @@ class TestServeCoreHardening:
                 )
                 for n in ("tiny-uniform", "tiny-grid2d")
             ]
-            for t in waiters:
-                t.start()
+            # sequence the admissions: if both waiters raced, the second
+            # could hit the still-occupied queue and absorb the 429 itself
+            waiters[0].start()
+            assert entered.wait(timeout=10)  # executor busy, queue empty
+            waiters[1].start()
             deadline = time.monotonic() + 10
             while core._queue.qsize() < 1 and time.monotonic() < deadline:
                 time.sleep(0.01)
+            assert core._queue.qsize() == 1
             body = core.handle({"matrix": "tiny-powerlaw"})
             assert (body["outcome"], body["status"]) == ("rejected", 429)
             assert "ServerOverloaded" in body["reason"]
