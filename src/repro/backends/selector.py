@@ -21,7 +21,9 @@ from ..core.estimate_sampling import sampled_output_estimate
 from ..core.options import AcSpgemmOptions, DEFAULT_OPTIONS
 from ..gpu.counters import TrafficCounters
 from ..obs.device import DeviceTrace
+from ..obs.flight import get_flight_recorder
 from ..obs.span import SpanRecorder
+from ..obs.trace import current_trace_attrs, trace_note
 from .base import Backend
 from .registry import get_backend, register_backend
 
@@ -181,7 +183,9 @@ class AdaptiveSelector(Backend):
         # exactly one launch overhead reaches the makespan
         probe = self._fresh_meter(opts)
         features = collect_features(a, b, probe)
+        preds = self.predictions(features, opts)
         choice = self.select(features, opts)
+        trace_note("selector.choice", choice)
         sel_cycles = (
             probe.cycles
             - probe.counters.kernel_launches * launch
@@ -222,4 +226,30 @@ class AdaptiveSelector(Backend):
             spans, owns_spans, anchor, dispatched_to=choice
         )
         result.dispatched_to = choice
+
+        # flight-recorder dispatch event: the predicted makespan of each
+        # candidate against what the routed engine actually spent (the
+        # run minus the probe itself), with the per-decision regret
+        # bound.  No wall-clock fields — replays log byte-identically.
+        actual = result.total_cycles - sel_cycles
+        predicted_chosen = float(preds[choice])
+        abs_error = abs(actual - predicted_chosen)
+        audit = {
+            "kind": "dispatch",
+            "chosen": choice,
+            "predicted": {k: float(preds[k]) for k in sorted(preds)},
+            "predicted_chosen": predicted_chosen,
+            "actual_cycles": float(actual),
+            "abs_error": abs_error,
+            "rel_error": abs_error / actual if actual > 0 else 0.0,
+            "regret_bound": max(0.0, actual - min(preds.values())),
+            "degraded": result.degraded,
+            "rows": a.rows,
+            "cols": b.cols,
+            "nnz_a": a.nnz,
+            "nnz_b": b.nnz,
+            "temp_products": features.temp_products,
+            **current_trace_attrs(),
+        }
+        result.routing_audit = get_flight_recorder().record(audit)
         return result

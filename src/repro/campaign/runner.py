@@ -44,7 +44,7 @@ from .store import (
     merged_artifact_bytes,
     write_atomic,
 )
-from .worker import execute_cell, worker_main
+from .worker import campaign_trace_meta, execute_cell, worker_main
 
 __all__ = ["CampaignResult", "CampaignRunner", "campaign_records"]
 
@@ -291,6 +291,7 @@ class CampaignRunner:
                     key=cell_key(cell, fps[cell.matrix], self.config),
                     worker=0,
                     cell_timeout=self.cell_timeout,
+                    trace_meta=campaign_trace_meta(self.config),
                 )
                 writer.append(line)
                 if self.throttle:
@@ -323,6 +324,7 @@ class CampaignRunner:
                     operand_metas,
                     self.cell_timeout,
                 ),
+                kwargs={"trace_meta": campaign_trace_meta(self.config)},
             )
             for w in range(n)
         ]

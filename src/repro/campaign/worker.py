@@ -29,13 +29,23 @@ Liveness is observable and termination is graceful:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import queue as queue_mod
 import signal
 import threading
 import time
 import traceback
+from contextlib import nullcontext
 
 from ..bench.harness import MatrixCase, run_case
+from ..obs.trace import (
+    RequestTrace,
+    TraceContext,
+    derive_span_id,
+    derive_trace_id,
+    use_trace,
+)
 from ..resilience.errors import DeadlineExceeded, ReproError, WorkerStarved
 from .plan import (
     CampaignConfig,
@@ -47,7 +57,26 @@ from .plan import (
 )
 from .store import ShardWriter
 
-__all__ = ["execute_cell", "worker_main"]
+__all__ = ["campaign_trace_meta", "execute_cell", "worker_main"]
+
+
+def campaign_trace_meta(config: CampaignConfig) -> dict:
+    """The campaign's trace hand-off pair, derived from the plan alone.
+
+    Every worker (and the inline runner) derives the same
+    ``{"trace_id", "parent_id"}`` from the canonical config JSON, so a
+    cell's trace ids are identical no matter which worker executes it —
+    the same worker-independence rule as the checkpoint ``key``.
+    """
+    text = json.dumps(
+        config.to_json(), sort_keys=True, default=str, separators=(",", ":")
+    )
+    content = hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+    trace_id = derive_trace_id(content, 0)
+    return {
+        "trace_id": trace_id,
+        "parent_id": derive_span_id(trace_id, "", "campaign", 0),
+    }
 
 _DTYPES = {"float32": "float32", "float64": "float64"}
 
@@ -99,6 +128,7 @@ def execute_cell(
     worker: int,
     runner=None,
     cell_timeout: float | None = None,
+    trace_meta: dict | None = None,
 ) -> dict:
     """Run one cell under the per-cell retry budget.
 
@@ -114,12 +144,31 @@ def execute_cell(
     any other failure.  The alarm is only armed on the main thread of a
     process (always true for spawned campaign workers); elsewhere the
     timeout is a no-op rather than a wrong answer.
+
+    ``trace_meta`` (see :func:`campaign_trace_meta`) opts the cell into
+    request tracing: the attempts run under an ambient per-cell trace
+    (cell span ids derive from ``cell.index``, so they are identical
+    whichever worker ran it) and the checkpoint line gains a ``trace``
+    field — outside :data:`repro.campaign.store._ARTIFACT_FIELDS`, so
+    the merged artifact stays byte-identical.
     """
     import numpy as np
 
     run = runner if runner is not None else run_case
     dtype = np.dtype(_DTYPES[cell.dtype])
     options = config.options()
+    trace = None
+    if trace_meta is not None:
+        ctx = TraceContext(
+            trace_id=trace_meta["trace_id"],
+            span_id=derive_span_id(
+                trace_meta["trace_id"], trace_meta["parent_id"],
+                "cell", cell.index,
+            ),
+        )
+        trace = RequestTrace(
+            ctx, name="cell", cell=cell.id, key=key, worker=worker
+        )
     use_alarm = (
         cell_timeout is not None
         and cell_timeout > 0
@@ -134,34 +183,54 @@ def execute_cell(
     while attempts <= config.retries:
         attempts += 1
         prev_handler = None
+        att_span = (
+            trace.start_span("attempt", attempt=attempts)
+            if trace is not None
+            else None
+        )
         try:
             if use_alarm:
                 prev_handler = signal.signal(signal.SIGALRM, _raise_cell_deadline)
                 signal.setitimer(signal.ITIMER_REAL, cell_timeout)
-            rec = run(
-                case,
-                _algorithm_for(cell, options),
-                dtype.type,
-                verify=config.verify,
-            )
+            with (
+                use_trace(trace, att_span)
+                if trace is not None
+                else nullcontext()
+            ):
+                rec = run(
+                    case,
+                    _algorithm_for(cell, options),
+                    dtype.type,
+                    verify=config.verify,
+                )
+            if trace is not None:
+                trace.end_span(att_span)
             record = rec.to_json()
             status = "ok" if attempts == 1 else "retried"
             error = None
             break
         except ReproError as exc:
             error = exc.context()
+            if trace is not None:
+                trace.end_span(
+                    att_span, status="error", error=exc.one_line()
+                )
         except Exception as exc:  # noqa: BLE001 - isolation by design
             error = {
                 "kind": type(exc).__name__,
                 "message": str(exc),
                 "trace": traceback.format_exc(limit=3),
             }
+            if trace is not None:
+                trace.end_span(
+                    att_span, status="error", error=type(exc).__name__
+                )
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
                 if prev_handler is not None:
                     signal.signal(signal.SIGALRM, prev_handler)
-    return {
+    line = {
         "id": cell.id,
         "key": key,
         "status": status,
@@ -171,6 +240,13 @@ def execute_cell(
         "worker": worker,
         "t_host": round(time.monotonic() - t0, 6),
     }
+    if trace is not None:
+        trace.release(status=status, attempts=attempts)
+        line["trace"] = {
+            "trace_id": trace.trace_id,
+            "span_id": trace.root.span_id,
+        }
+    return line
 
 
 def worker_main(
@@ -182,6 +258,7 @@ def worker_main(
     operands: dict | None = None,
     cell_timeout: float | None = None,
     starve_timeout: float = DEFAULT_STARVE_TIMEOUT,
+    trace_meta: dict | None = None,
 ) -> None:
     """Entry point of one campaign worker process.
 
@@ -282,6 +359,7 @@ def worker_main(
                 key=cell_key(cell, fingerprints[cell.matrix], config),
                 worker=worker,
                 cell_timeout=cell_timeout,
+                trace_meta=trace_meta,
             )
             writer.append(line)
             if throttle:

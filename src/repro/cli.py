@@ -307,6 +307,7 @@ def cmd_analyze(args) -> int:
             perfetto_payload(
                 spans=result.spans,
                 device=result.device_trace,
+                routing=getattr(result, "routing_audit", None),
                 clock_ghz=result.clock_ghz,
             ),
         )
@@ -404,6 +405,8 @@ def cmd_serve(args) -> int:
         supervise_interval_s=args.supervise_interval,
         shm_prefix=args.shm_prefix,
         fault_plan=fault_plan,
+        flight_log=args.flight_log,
+        trace_store=args.trace_store,
     )
     server = make_server(config, host=args.host, port=args.port,
                          verbose=args.verbose)
@@ -609,6 +612,10 @@ def main(argv=None) -> int:
                    help="deterministic shared-memory segment namespace")
     p.add_argument("--fault-plan", default=None,
                    help="chaos FaultPlan as JSON, or @path to a JSON file")
+    p.add_argument("--flight-log", default=None,
+                   help="rotating JSONL path for selector dispatch events")
+    p.add_argument("--trace-store", type=int, default=256,
+                   help="request traces kept for /traces inspection (LRU)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
     p.add_argument("--quiet", action="store_true",

@@ -130,6 +130,9 @@ class AcSpgemmResult:
     #: backend name this multiply was routed to, set by the adaptive
     #: selector (``repro.backends``); None for direct engine calls
     dispatched_to: str | None = None
+    #: the selector's flight-recorder dispatch event (predicted vs.
+    #: actual cycles, regret bound); None for direct engine calls
+    routing_audit: dict | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -260,9 +263,10 @@ def _degraded_result(
     bit-identical to the Gustavson reference; the triggering failure is
     recorded on the result instead of being raised.
     """
+    from ..obs.trace import current_trace_attrs
     from ..resilience.degrade import conservative_pool_bytes, fallback_multiply
 
-    spans.abort(reason=exc.one_line())
+    spans.abort(reason=exc.one_line(), **current_trace_attrs())
     spans.event("degraded", detail=exc.one_line())
     if dtrace is not None:
         # the trace keeps every record collected before the failure; the

@@ -201,6 +201,17 @@ class ParallelEngine(ReferenceEngine):
                 )
         self.count("pool_esc_rounds")
         self.count("pool_esc_tasks", len(pending))
+        from ..obs.trace import current_span, current_trace
+
+        trace = current_trace()
+        t_parent = current_span()
+        round_span = (
+            trace.start_span(
+                "esc.thread_round", parent=t_parent, blocks=len(pending)
+            )
+            if trace is not None and t_parent is not None
+            else None
+        )
 
         def execute(blk):
             records: list[AllocationRecord] = []
@@ -224,6 +235,8 @@ class ParallelEngine(ReferenceEngine):
             return ctx.meter, records, ctx.scratchpad
 
         results = self._run_tasks(execute, pending)
+        if round_span is not None:
+            trace.end_span(round_span)
 
         runs: list[OptimisticRun] = []
         for blk, (meter, records, scratch) in zip(pending, results):

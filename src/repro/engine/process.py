@@ -40,6 +40,7 @@ import hashlib
 import multiprocessing as mp
 import os
 import threading
+import time
 import traceback
 
 import numpy as np
@@ -49,6 +50,7 @@ from ..core.esc import EscBlock
 from ..core.load_balance import global_load_balance
 from ..gpu.block import BlockContext
 from ..gpu.cost import CostMeter
+from ..obs.trace import current_span, current_trace, derive_span_id
 from ..resilience.errors import WorkerCrashed
 from .parallel import ParallelEngine, _ShadowPool, _ShadowTracker
 from .replay import AllocationRecord, OptimisticRun
@@ -181,13 +183,40 @@ def worker_main(conn) -> None:
                     cache[token] = (a, b, glb, options, (ha, hb))
                     conn.send(("ok",))
                 elif cmd == "esc":
-                    _, token, states = msg
+                    # the optional 4th element is the request-trace
+                    # hand-off pair {"trace_id", "parent_id"}; span ids
+                    # derive from the block id, so the graft is
+                    # deterministic no matter which worker ran a block
+                    _, token, states = msg[:3]
+                    spanmeta = msg[3] if len(msg) > 3 else None
                     a, b, glb, options, _ = cache[token]
                     pool_proto = ChunkPool(capacity_bytes=0)
-                    results = [
-                        _run_esc_block(a, b, glb, options, pool_proto, st)
-                        for st in states
-                    ]
+                    results = []
+                    for st in states:
+                        t0 = time.perf_counter()
+                        res = _run_esc_block(
+                            a, b, glb, options, pool_proto, st
+                        )
+                        if spanmeta is not None:
+                            res["span"] = {
+                                "name": "esc.block",
+                                "span_id": derive_span_id(
+                                    spanmeta["trace_id"],
+                                    spanmeta["parent_id"],
+                                    "esc.block",
+                                    st["block_id"],
+                                ),
+                                "parent_id": spanmeta["parent_id"],
+                                "t_host": time.perf_counter() - t0,
+                                "attrs": {
+                                    "block_id": st["block_id"],
+                                    "pid": os.getpid(),
+                                    "esc_iterations": res["final"][
+                                        "esc_iterations"
+                                    ],
+                                },
+                            }
+                        results.append(res)
                     conn.send(("esc", results))
                 elif cmd == "drop":
                     # parent evicted this operand pair; no reply expected
@@ -398,6 +427,7 @@ class WarmProcessPool:
         n_workers: int,
         *,
         retries: int | None = None,
+        trace_meta: dict | None = None,
     ) -> list[dict]:
         """Fan block states over worker slices; survives worker death.
 
@@ -436,7 +466,10 @@ class WarmProcessPool:
                     w = live[i]
                     try:
                         self._ensure_worker_loaded(w, token)
-                        w.conn.send(("esc", token, [states[j] for j in sel]))
+                        w.conn.send(
+                            ("esc", token, [states[j] for j in sel],
+                             trace_meta)
+                        )
                         tasks.append((w, sel))
                     except (BrokenPipeError, EOFError, OSError):
                         self._retire(w)
@@ -530,6 +563,22 @@ def process_esc_runs(engine, ectx, pending: list) -> list[OptimisticRun] | None:
     n_workers = resolve_process_workers()
     if n_workers < 1:
         return None
+    # an active request trace rides the task pickle into the workers:
+    # each one derives its block-span ids from this pair, and the final
+    # (post-redistribution) results are grafted back under the round
+    trace = current_trace()
+    parent = current_span()
+    round_span = None
+    trace_meta = None
+    if trace is not None and parent is not None:
+        round_span = trace.start_span(
+            "esc.process_round", parent=parent,
+            blocks=len(pending), workers=n_workers,
+        )
+        trace_meta = {
+            "trace_id": trace.trace_id,
+            "parent_id": round_span.span_id,
+        }
     try:
         pool = warm_pool()
         pool.ensure(n_workers)
@@ -545,10 +594,23 @@ def process_esc_runs(engine, ectx, pending: list) -> list[OptimisticRun] | None:
             }
             for blk in pending
         ]
-        results = pool.run_esc(token, states, n_workers)
-    except Exception:
+        results = pool.run_esc(
+            token, states, n_workers, trace_meta=trace_meta
+        )
+    except Exception as exc:
+        if round_span is not None:
+            trace.end_span(
+                round_span, status="error", error=exc.__class__.__name__
+            )
         _teardown_pool()
         return None
+
+    if round_span is not None:
+        for res in results:
+            doc = res.get("span")
+            if doc is not None:
+                trace.attach_remote_span(round_span, doc)
+        trace.end_span(round_span)
 
     runs: list[OptimisticRun] = []
     for blk, res in zip(pending, results):

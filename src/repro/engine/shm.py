@@ -132,6 +132,9 @@ class SharedCSR:
             "value_dtype": values.dtype.str,
             "sizes": sizes,
         }
+        from ..obs.trace import trace_note
+
+        trace_note("shm.export", shm.name)  # no-op outside a trace
         return cls(shm, meta, owner=True)
 
     def meta(self) -> dict:
@@ -152,6 +155,9 @@ class SharedCSR:
         the owner's registration out from under it.)
         """
         shm = shared_memory.SharedMemory(name=meta["name"])
+        from ..obs.trace import trace_note
+
+        trace_note("shm.attach", meta["name"])  # no-op outside a trace
         return cls(shm, dict(meta), owner=False)
 
     def matrix(self) -> CSRMatrix:

@@ -13,13 +13,17 @@ is engine-comparable and byte-deterministic:
   emission + validation and the ``repro profile`` workload;
 * :mod:`repro.obs.device` / :mod:`repro.obs.analyze` — the opt-in
   device-level trace (per-SM/per-block timelines, counter attribution)
-  and the ``repro analyze`` paper-figure reports built from it.
+  and the ``repro analyze`` paper-figure reports built from it;
+* :mod:`repro.obs.trace` / :mod:`repro.obs.flight` — the cross-process
+  request-tracing layer (deterministic ids, ``traceparent``
+  propagation) and the adaptive-selector flight recorder.
 """
 
 from .device import BlockEvent, BlockMeta, DeviceRecord, DeviceTrace
 from .export import (
     parse_prometheus_text,
     perfetto_payload,
+    routing_events,
     sanitize_label_name,
     sanitize_metric_name,
     span_events,
@@ -27,8 +31,28 @@ from .export import (
     validate_perfetto_file,
     write_perfetto,
 )
-from .metrics import MetricsRegistry
+from .flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    install_flight_recorder,
+    read_flight_events,
+)
+from .metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from .span import Span, SpanEvent, SpanRecorder
+from .trace import (
+    RequestTrace,
+    TraceContext,
+    TraceSpan,
+    TraceStore,
+    current_span,
+    current_trace,
+    current_trace_attrs,
+    derive_span_id,
+    derive_trace_id,
+    payload_fingerprint,
+    trace_note,
+    use_trace,
+)
 
 
 def __getattr__(name):
@@ -63,7 +87,25 @@ __all__ = [
     "sanitize_label_name",
     "sanitize_metric_name",
     "perfetto_payload",
+    "routing_events",
     "write_perfetto",
     "validate_perfetto",
     "validate_perfetto_file",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "RequestTrace",
+    "TraceContext",
+    "TraceSpan",
+    "TraceStore",
+    "current_span",
+    "current_trace",
+    "current_trace_attrs",
+    "derive_span_id",
+    "derive_trace_id",
+    "payload_fingerprint",
+    "trace_note",
+    "use_trace",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "install_flight_recorder",
+    "read_flight_events",
 ]

@@ -266,6 +266,15 @@ def analyze_result(
         },
     }
 
+    # routed adaptive runs carry the selector's dispatch event; it is an
+    # optional figure (and HTML section) only — metrics_doc stays fixed
+    # so bench_compare seed gates keep their key set
+    audit = getattr(result, "routing_audit", None)
+    if audit is not None:
+        figures["routing_audit"] = {
+            k: audit[k] for k in sorted(audit) if k != "seq"
+        }
+
     summary = {
         "records": len(dtrace.records),
         "launches": len(dtrace.launches()),
@@ -562,6 +571,42 @@ def render_html(doc: dict) -> str:
             and v > 0.9 * wl["capacity_bytes"],
         )
     )
+
+    audit = fig.get("routing_audit")
+    if audit:
+        parts.append("<h2>Routing audit</h2>")
+        chosen = audit.get("chosen", "")
+        parts.append(
+            f"<p>adaptive dispatch chose <b>{_html.escape(str(chosen))}</b>: "
+            f"predicted {audit.get('predicted_chosen', 0.0):,.0f} cycles, "
+            f"actual {audit.get('actual_cycles', 0.0):,.0f} "
+            f"(relative error {100.0 * audit.get('rel_error', 0.0):.1f}%, "
+            f"regret bound {audit.get('regret_bound', 0.0):,.0f} cycles)."
+            "</p>"
+        )
+        predicted = audit.get("predicted", {})
+        parts.append(
+            "<table><tr><th>candidate</th><th>predicted cycles</th></tr>"
+            + "".join(
+                f"<tr><th>{_html.escape(k)}"
+                f"{' *' if k == chosen else ''}</th>"
+                f"<td>{predicted[k]:,.0f}</td></tr>"
+                for k in sorted(predicted)
+            )
+            + "</table>"
+        )
+        rows = [(k, float(predicted[k])) for k in sorted(predicted)]
+        if "actual_cycles" in audit:
+            rows.append(
+                (f"actual ({chosen})", float(audit["actual_cycles"]))
+            )
+        parts.append(
+            _bars(
+                rows,
+                warn=lambda label, v: label.startswith("actual")
+                and v > audit.get("predicted_chosen", v),
+            )
+        )
 
     parts.append("<h2>Traffic attribution by stage</h2>")
     traffic = fig["traffic_by_stage"]

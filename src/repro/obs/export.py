@@ -49,8 +49,12 @@ _METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 _SAMPLE_LINE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>.*)\})?"
-    r" (?P<value>\S+)$"
+    r"(?:\{(?P<labels>.*?)\})?"
+    r" (?P<value>\S+)"
+    # OpenMetrics-style exemplar suffix on histogram bucket lines:
+    # ` # {trace_id="..."} 4.2 [timestamp]`
+    r"(?: # \{(?P<exemplar>[^}]*)\} (?P<exemplar_value>\S+)"
+    r"(?: (?P<exemplar_ts>\S+))?)?$"
 )
 _LABEL_PAIR_RE = re.compile(
     r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"'
@@ -94,13 +98,17 @@ def parse_prometheus_text(text: str) -> dict:
     """Parse exposition format 0.0.4 back into a structured document.
 
     Returns ``{"samples": {name: [(labels_dict, value), ...]},
-    "types": {name: kind}, "help": {name: help}}``.  Used by the
-    round-trip tests to prove our exports are scrapable; raises
-    ``ValueError`` on any line a Prometheus scraper would reject.
+    "types": {name: kind}, "help": {name: help},
+    "exemplars": {name: [(labels, exemplar_labels, value), ...]}}``.
+    Used by the round-trip tests to prove our exports are scrapable;
+    raises ``ValueError`` on any line a Prometheus scraper would
+    reject.  OpenMetrics-style exemplar suffixes on histogram bucket
+    lines are parsed (and validated) rather than rejected.
     """
     samples: dict[str, list] = {}
     types: dict[str, str] = {}
     helps: dict[str, str] = {}
+    exemplars: dict[str, list] = {}
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip():
             continue
@@ -146,13 +154,45 @@ def parse_prometheus_text(text: str) -> dict:
                             f"line {lineno}: expected ',' in labels {raw!r}"
                         )
                     pos += 1
+        if m.group("exemplar") is not None:
+            ex_labels: dict[str, str] = {}
+            raw_ex = m.group("exemplar")
+            pos = 0
+            while pos < len(raw_ex):
+                pair = _LABEL_PAIR_RE.match(raw_ex, pos)
+                if pair is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed exemplar {raw_ex!r}"
+                    )
+                ex_labels[pair.group("name")] = _unescape_label(
+                    pair.group("value")
+                )
+                pos = pair.end()
+                if pos < len(raw_ex):
+                    if raw_ex[pos] != ",":
+                        raise ValueError(
+                            f"line {lineno}: expected ',' in exemplar "
+                            f"{raw_ex!r}"
+                        )
+                    pos += 1
+            float(m.group("exemplar_value"))  # must be numeric to scrape
+            exemplars.setdefault(m.group("name"), []).append(
+                (labels, ex_labels, float(m.group("exemplar_value")))
+            )
         samples.setdefault(m.group("name"), []).append(
             (labels, float(m.group("value")))
         )
-    return {"samples": samples, "types": types, "help": helps}
+    return {
+        "samples": samples,
+        "types": types,
+        "help": helps,
+        "exemplars": exemplars,
+    }
 
 DEVICE_PID = 1
 SPAN_PID = 2
+REQUEST_PID = 4
+ROUTING_PID = 5
 _EPS = 1e-9
 
 _META_NAMES = {
@@ -214,21 +254,96 @@ def span_events(
     return events
 
 
+def routing_events(
+    audit: dict, clock_ghz: float, *, pid: int = ROUTING_PID
+) -> list[dict]:
+    """The routing-audit track: predicted vs. actual cycles per engine.
+
+    One thread row per candidate engine holding a slice of its
+    *predicted* makespan; the chosen engine's row additionally holds
+    the *actual* slice (both start at 0, so they nest).  ``audit`` is
+    the dispatch event recorded by the adaptive selector
+    (``result.routing_audit``).
+    """
+    us = 1e6 / (clock_ghz * 1e9)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "routing audit"},
+        }
+    ]
+    chosen = audit.get("chosen")
+    for tid, (engine, predicted) in enumerate(
+        sorted(audit.get("predicted", {}).items()), start=1
+    ):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{engine}{' *' if engine == chosen else ''}"},
+            }
+        )
+        events.append(
+            {
+                "name": f"predicted {engine}",
+                "cat": "routing",
+                "ph": "X",
+                "ts": 0.0,
+                "dur": float(predicted) * us,
+                "pid": pid,
+                "tid": tid,
+                "args": {"predicted_cycles": float(predicted)},
+            }
+        )
+        if engine == chosen and "actual_cycles" in audit:
+            events.append(
+                {
+                    "name": f"actual {engine}",
+                    "cat": "routing",
+                    "ph": "X",
+                    "ts": 0.0,
+                    "dur": float(audit["actual_cycles"]) * us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "actual_cycles": float(audit["actual_cycles"]),
+                        "regret_bound": float(audit.get("regret_bound", 0.0)),
+                    },
+                }
+            )
+    return events
+
+
 def perfetto_payload(
     *,
     spans: Span | None = None,
     trace=None,
     device=None,
+    request=None,
+    routing: dict | None = None,
     clock_ghz: float | None = None,
 ) -> dict:
     """Combined Perfetto JSON object for spans, kernel and device traces.
 
     ``device`` is a :class:`~repro.obs.device.DeviceTrace`; it adds a
     third process row (pid 3) with one thread per SM plus counter
-    tracks (scratchpad bytes, chunk-pool occupancy).
+    tracks (scratchpad bytes, chunk-pool occupancy).  ``request`` is a
+    :class:`~repro.obs.trace.RequestTrace` (pid 4, wall-clock request
+    timeline) and ``routing`` a selector dispatch event
+    (``result.routing_audit``, pid 5).
     """
-    if spans is None and trace is None and device is None:
-        raise ValueError("need at least one of spans, trace or device")
+    if (
+        spans is None and trace is None and device is None
+        and request is None and routing is None
+    ):
+        raise ValueError(
+            "need at least one of spans, trace, device, request or routing"
+        )
     events: list[dict] = []
     if trace is not None:
         events.extend(trace.to_events(pid=DEVICE_PID))
@@ -242,6 +357,12 @@ def perfetto_payload(
         if clock_ghz is None:
             raise ValueError("clock_ghz is required to export spans alone")
         events.extend(span_events(spans, clock_ghz))
+    if request is not None:
+        events.extend(request.perfetto_events(pid=REQUEST_PID))
+    if routing is not None:
+        if clock_ghz is None:
+            raise ValueError("clock_ghz is required to export routing audits")
+        events.extend(routing_events(routing, clock_ghz))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

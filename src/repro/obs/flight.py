@@ -1,0 +1,185 @@
+"""Selector flight recorder: predicted vs. actual cycles per dispatch.
+
+Every adaptive routing decision (:class:`repro.backends.selector.
+AdaptiveSelector`) records one *dispatch event*: the per-candidate
+predicted cycle counts, the chosen engine, the actual simulated cycles
+the routed engine then spent, the prediction error and a per-decision
+**regret bound** — ``max(0, actual_chosen - min(predicted))``, an upper
+bound on how many cycles a better prediction could have saved under the
+model's own estimates (the true regret would need counterfactual runs).
+
+Events land in a bounded in-memory ring (always) and, when a path is
+configured, in a rotating JSONL event log.  The log is crash-tolerant
+both ways: every event is flushed on write, :meth:`flush` fsyncs (the
+serve daemon's SIGTERM drain calls it), and :func:`read_flight_events`
+tolerates a torn final line exactly like the campaign shard reader.
+Events carry **no wall-clock timestamps** — a replayed request sequence
+produces a byte-identical event log, the same determinism contract as
+the trace ids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "FlightRecorder",
+    "read_flight_events",
+    "get_flight_recorder",
+    "install_flight_recorder",
+]
+
+#: dispatch events kept in the in-memory ring (rolling-error window)
+DEFAULT_WINDOW = 128
+
+#: rotation threshold of one JSONL log file
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+#: rotated files kept (``log``, ``log.1`` ... ``log.<n>``)
+DEFAULT_MAX_FILES = 3
+
+
+class FlightRecorder:
+    """Thread-safe dispatch-event ring with an optional JSONL log."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        window: int = DEFAULT_WINDOW,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_files: int = DEFAULT_MAX_FILES,
+    ):
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=max(1, window))
+        self._seq = 0
+        self.path = Path(path) if path else None
+        self.max_bytes = max(1, int(max_bytes))
+        self.max_files = max(1, int(max_files))
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, event: dict) -> dict:
+        """Append one dispatch event; returns it with ``seq`` stamped."""
+        with self._lock:
+            self._seq += 1
+            doc = {"seq": self._seq, **event}
+            self._ring.append(doc)
+            if self._fh is not None:
+                self._fh.write(
+                    json.dumps(doc, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+                self._fh.flush()
+                self._rotate_locked()
+            return doc
+
+    def _rotate_locked(self) -> None:
+        if self._fh is None or self._fh.tell() < self.max_bytes:
+            return
+        self._fh.close()
+        # shift log.<n-1> -> log.<n> ... log -> log.1, dropping the oldest
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                os.replace(src, self.path.with_name(f"{self.path.name}.{i + 1}"))
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- introspection ------------------------------------------------
+
+    def events(self) -> list[dict]:
+        """Snapshot of the in-memory ring, oldest first."""
+        with self._lock:
+            return [dict(e) for e in self._ring]
+
+    @property
+    def recorded(self) -> int:
+        """Total dispatch events recorded over this recorder's life."""
+        with self._lock:
+            return self._seq
+
+    def prediction_error(self) -> float:
+        """Rolling mean relative prediction error over the ring window."""
+        with self._lock:
+            errs = [
+                e["rel_error"] for e in self._ring if "rel_error" in e
+            ]
+        return sum(errs) / len(errs) if errs else 0.0
+
+    # -- durability ---------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush and fsync the event log (the SIGTERM-drain hook)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+
+
+def read_flight_events(path: str | Path) -> list[dict]:
+    """Parse one flight-log file, tolerating a torn final line.
+
+    A SIGKILL mid-write can tear at most the last line; every complete
+    line before it is still a valid event, so the reader keeps what
+    parses and drops a trailing fragment instead of failing the file.
+    """
+    out: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final line: tolerated by design
+            raise
+    return out
+
+
+# -- process-wide default ------------------------------------------------
+#
+# The selector records into the process-wide recorder so every adaptive
+# dispatch is observable even outside the serve daemon; the daemon (or
+# the CLI) upgrades it to a file-backed recorder via
+# :func:`install_flight_recorder`.
+
+_GLOBAL = FlightRecorder()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (memory-only by default)."""
+    return _GLOBAL
+
+
+def install_flight_recorder(
+    path: str | Path | None = None, **kwargs
+) -> FlightRecorder:
+    """Replace the process-wide recorder (e.g. with a file-backed one)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        old = _GLOBAL
+        _GLOBAL = FlightRecorder(path, **kwargs)
+        old.close()
+        return _GLOBAL

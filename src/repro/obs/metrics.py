@@ -17,16 +17,26 @@ and samples are emitted in sorted order and floats rendered with
 
 from __future__ import annotations
 
+import bisect
 import threading
 from dataclasses import dataclass, field
 
 from ..gpu.counters import COUNTER_DOC
 from .export import sanitize_label_name, sanitize_metric_name
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["DEFAULT_LATENCY_BUCKETS_MS", "MetricsRegistry"]
 
 _KIND_COUNTER = "counter"
 _KIND_GAUGE = "gauge"
+_KIND_HISTOGRAM = "histogram"
+
+#: default latency bucket upper bounds in milliseconds (the +Inf bucket
+#: is implicit) — fixed so every export is deterministic and two
+#: daemons' histograms are mergeable bucket by bucket
+DEFAULT_LATENCY_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 def _render_value(value) -> str:
@@ -67,6 +77,45 @@ def sample_key(name: str, labels: dict) -> str:
 
 
 @dataclass
+class _Histogram:
+    """One labelled histogram sample: cumulative-exportable buckets.
+
+    ``counts[i]`` is the *per-bucket* (non-cumulative) observation count
+    for ``bounds[i]``; ``counts[-1]`` is the +Inf bucket.  Exports emit
+    the cumulative form.  ``exemplars`` maps a bucket index to the most
+    recent exemplar observed in it (OpenMetrics-style: a label set —
+    typically a trace id — plus the observed value).
+    """
+
+    bounds: tuple
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+    exemplars: dict[int, dict] = field(default_factory=dict)
+
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        idx = bisect.bisect_left(self.bounds, value)
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+        if exemplar:
+            self.exemplars[idx] = {
+                "labels": {str(k): str(v) for k, v in sorted(exemplar.items())},
+                "value": float(value),
+            }
+
+    def cumulative(self) -> list[int]:
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+@dataclass
 class _Family:
     """One metric family: a kind, a help string and labelled samples."""
 
@@ -75,6 +124,10 @@ class _Family:
     help: str = ""
     samples: dict[str, float] = field(default_factory=dict)
     labels_of: dict[str, dict] = field(default_factory=dict)
+    #: histogram-kind families only: fixed bucket bounds + per-label-set
+    #: histogram state
+    bounds: tuple | None = None
+    hists: dict[str, _Histogram] = field(default_factory=dict)
 
 
 class MetricsRegistry:
@@ -147,6 +200,70 @@ class MetricsRegistry:
         with self._lock:
             fam = self._family(name, _KIND_GAUGE, help)
             fam.samples[self._sample(fam, labels)] = value
+
+    def observe(
+        self,
+        name: str,
+        value,
+        help: str = "",
+        buckets: tuple | None = None,
+        exemplar: dict | None = None,
+        **labels,
+    ) -> None:
+        """Record one observation into a bounded histogram sample.
+
+        ``buckets`` fixes the family's upper bounds on first use
+        (:data:`DEFAULT_LATENCY_BUCKETS_MS` otherwise) and must agree on
+        every later call — deterministic bucket layout is what makes the
+        export byte-stable.  ``exemplar`` is an optional small label set
+        (e.g. ``{"trace_id": ...}``) attached OpenMetrics-style to the
+        bucket the observation lands in; the latest exemplar per bucket
+        wins.
+        """
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError("histogram observations must be numbers")
+        with self._lock:
+            fam = self._family(name, _KIND_HISTOGRAM, help)
+            if fam.bounds is None:
+                fam.bounds = tuple(
+                    float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS_MS)
+                )
+                if list(fam.bounds) != sorted(set(fam.bounds)):
+                    raise ValueError("histogram buckets must be increasing")
+            elif buckets is not None and tuple(
+                float(b) for b in buckets
+            ) != fam.bounds:
+                raise ValueError(
+                    f"metric {name!r} already registered with different "
+                    "buckets"
+                )
+            key = self._sample(fam, labels)
+            hist = fam.hists.get(key)
+            if hist is None:
+                hist = fam.hists[key] = _Histogram(bounds=fam.bounds)
+            hist.observe(float(value), exemplar)
+
+    def histogram(self, name: str, **labels) -> dict:
+        """Snapshot one histogram sample (raises ``KeyError`` if absent).
+
+        Returns ``{"buckets": {le: cumulative}, "sum": s, "count": n,
+        "exemplars": {le: {...}}}`` with ``le`` rendered like the
+        Prometheus export (``repr`` floats plus ``"+Inf"``).
+        """
+        with self._lock:
+            fam = self._families[sanitize_metric_name(name)]
+            key = sample_key(name, {**self.const_labels, **labels})
+            hist = fam.hists[key]
+            les = [repr(b) for b in hist.bounds] + ["+Inf"]
+            cum = hist.cumulative() or [0] * len(les)
+            return {
+                "buckets": dict(zip(les, cum)),
+                "sum": hist.sum,
+                "count": hist.count,
+                "exemplars": {
+                    les[i]: dict(ex) for i, ex in sorted(hist.exemplars.items())
+                },
+            }
 
     def value(self, name: str, **labels):
         """Read one sample (raises ``KeyError`` when absent)."""
@@ -280,6 +397,31 @@ class MetricsRegistry:
 
     # -- export --------------------------------------------------------
 
+    @staticmethod
+    def _hist_rows(fam: _Family, key: str) -> list[tuple[str, object, dict | None]]:
+        """``(sample_key, value, exemplar)`` rows for one histogram sample.
+
+        Bucket rows come in ascending ``le`` order (cumulative counts),
+        followed by ``_sum`` and ``_count`` — the exact layout both
+        exports share so JSON and Prometheus always agree.
+        """
+        hist = fam.hists[key]
+        labels = fam.labels_of[key]
+        les = [repr(b) for b in hist.bounds] + ["+Inf"]
+        cum = hist.cumulative() or [0] * len(les)
+        rows: list[tuple[str, object, dict | None]] = []
+        for i, (le, c) in enumerate(zip(les, cum)):
+            rows.append(
+                (
+                    sample_key(f"{fam.name}_bucket", {**labels, "le": le}),
+                    c,
+                    hist.exemplars.get(i),
+                )
+            )
+        rows.append((sample_key(f"{fam.name}_sum", labels), hist.sum, None))
+        rows.append((sample_key(f"{fam.name}_count", labels), hist.count, None))
+        return rows
+
     def to_json(self) -> dict:
         """Flat deterministic document: sample key -> value, plus meta."""
         metrics: dict = {}
@@ -290,10 +432,25 @@ class MetricsRegistry:
                 meta[name] = {"type": fam.kind, "help": fam.help}
                 for key in sorted(fam.samples):
                     metrics[key] = fam.samples[key]
+                if fam.kind == _KIND_HISTOGRAM:
+                    meta[name]["buckets"] = list(fam.bounds or ())
+                    exemplars: dict = {}
+                    for key in sorted(fam.hists):
+                        for skey, value, ex in self._hist_rows(fam, key):
+                            metrics[skey] = value
+                            if ex is not None:
+                                exemplars[skey] = dict(ex)
+                    if exemplars:
+                        meta[name]["exemplars"] = exemplars
         return {"metrics": metrics, "meta": meta}
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4), sorted and stable."""
+        """Prometheus text exposition format (0.0.4), sorted and stable.
+
+        Histogram bucket lines carry OpenMetrics-style exemplars
+        (``... 5 # {trace_id="..."} 4.2``) where one was recorded;
+        :func:`repro.obs.export.parse_prometheus_text` round-trips them.
+        """
         lines: list[str] = []
         with self._lock:
             for name in sorted(self._families):
@@ -303,4 +460,19 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {name} {fam.kind}")
                 for key in sorted(fam.samples):
                     lines.append(f"{key} {_render_value(fam.samples[key])}")
+                if fam.kind == _KIND_HISTOGRAM:
+                    for key in sorted(fam.hists):
+                        for skey, value, ex in self._hist_rows(fam, key):
+                            line = f"{skey} {_render_value(value)}"
+                            if ex is not None:
+                                inner = ",".join(
+                                    f'{sanitize_label_name(k)}='
+                                    f'"{_escape_label(v)}"'
+                                    for k, v in sorted(ex["labels"].items())
+                                )
+                                line += (
+                                    f" # {{{inner}}} "
+                                    f"{_render_value(ex['value'])}"
+                                )
+                            lines.append(line)
         return "\n".join(lines) + "\n"

@@ -239,19 +239,31 @@ class SpanRecorder:
         self._stack[-1].events.append(ev)
         return ev
 
-    def abort(self, reason: str = "") -> None:
+    def abort(self, reason: str = "", **attrs) -> None:
         """Close every open span except the root (failure unwinding).
 
         Each closed span is tagged ``aborted=True`` so a degraded run's
         partial pipeline remains visible — and engine-comparable, since
         injected faults fire at driver chokepoints before engine work.
+        Extra ``attrs`` (trace ids, breaker state) land on every span
+        closed by the unwind, keeping aborted traces attributable.
         """
         while len(self._stack) > 1:
-            self.finish(aborted=True)
-        if self._stack and reason:
-            self._stack[-1].events.append(
-                SpanEvent(label="abort", cycle=self._clock, detail=reason)
-            )
+            self.finish(aborted=True, **attrs)
+        if self._stack:
+            if attrs:
+                self._stack[-1].attrs.update(attrs)
+                # spans the exception already unwound on its way here
+                # (the ``span()`` context manager tags those itself)
+                # get the same attribution
+                for span in self.root.walk():
+                    if span.attrs.get("aborted"):
+                        for key, value in attrs.items():
+                            span.attrs.setdefault(key, value)
+            if reason:
+                self._stack[-1].events.append(
+                    SpanEvent(label="abort", cycle=self._clock, detail=reason)
+                )
 
     def close(self, **attrs) -> Span:
         """Close every open span (root last) and return the root."""

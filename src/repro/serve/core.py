@@ -55,6 +55,7 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict, deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -64,7 +65,15 @@ from ..bench.harness import CACHE_VERSION
 from ..core import AcSpgemmOptions, ac_spgemm
 from ..engine import process as process_mod
 from ..engine.shm import list_segments, sweep_segments
-from ..obs.metrics import MetricsRegistry
+from ..obs.flight import get_flight_recorder, install_flight_recorder
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from ..obs.trace import (
+    RequestTrace,
+    TraceContext,
+    TraceStore,
+    payload_fingerprint,
+    use_trace,
+)
 from ..resilience.degrade import fallback_multiply
 from ..resilience.errors import (
     DeadlineExceeded,
@@ -106,6 +115,8 @@ class ServeConfig:
     supervise_interval_s: float = 1.0  # supervisor loop period
     shm_prefix: str = "repro-serve-"  # deterministic segment namespace
     fault_plan: FaultPlan | None = None  # serve-level chaos, or None
+    flight_log: str | None = None  # selector flight-recorder JSONL path
+    trace_store: int = 256  # finalized request traces kept (LRU)
 
     def to_json(self) -> dict:
         return {
@@ -123,6 +134,8 @@ class ServeConfig:
             "supervise_interval_s": self.supervise_interval_s,
             "shm_prefix": self.shm_prefix,
             "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
+            "flight_log": self.flight_log,
+            "trace_store": self.trace_store,
         }
 
 
@@ -138,6 +151,9 @@ class _Job:
     done: threading.Event = field(default_factory=threading.Event)
     response: dict | None = None
     abandoned: bool = False  # requester gave up (deadline); finish anyway
+    trace: RequestTrace | None = None  # retained for the executor thread
+    request_id: str = ""
+    t_enqueue: float = 0.0  # admission timestamp (queue-wait span)
 
 
 class _Breaker:
@@ -236,6 +252,14 @@ class ServeCore:
         self._injector = (
             self.config.fault_plan.activate() if self.config.fault_plan else None
         )
+        self.traces = TraceStore(self.config.trace_store)
+        self.flight = (
+            install_flight_recorder(self.config.flight_log)
+            if self.config.flight_log
+            else get_flight_recorder()
+        )
+        self._routing_errors: deque[float] = deque(maxlen=128)
+        self._admitted = 0  # admission ordinals handed out (trace ids)
         self._executed = 0  # execution ordinals handed out (chaos chokepoint)
         self._accepting = True
         self._stop = threading.Event()
@@ -377,13 +401,35 @@ class ServeCore:
 
     # -- admission -----------------------------------------------------
 
-    def handle(self, payload: dict) -> dict:
+    def _start_trace(
+        self, content: str, ordinal: int, client, request_id: str,
+        t0: float, **attrs,
+    ) -> RequestTrace:
+        """One request's trace, registered in the store immediately so
+        in-flight requests are inspectable via ``/trace/<id>``."""
+        ctx = TraceContext.for_request(content, ordinal, client)
+        trace = RequestTrace(
+            ctx, request_id=request_id, ordinal=ordinal, **attrs
+        )
+        trace.root.t_start = t0
+        self.traces.add(trace)
+        return trace
+
+    def handle(self, payload: dict, *, traceparent: str | None = None) -> dict:
         """Resolve one request to a typed outcome (never raises).
 
         Returns the response body; ``status`` carries the HTTP code for
-        the transport layer.
+        the transport layer.  ``traceparent`` is the client's W3C-style
+        header: a valid one joins the caller's trace, and every response
+        body carries ``request_id`` / ``trace_id`` / ``traceparent`` so
+        even rejected work is correlatable with server-side telemetry.
         """
         t0 = time.monotonic()
+        with self._lock:
+            self._admitted += 1
+            ordinal = self._admitted
+        request_id = f"req-{ordinal:06d}"
+        client = TraceContext.from_traceparent(traceparent)
         try:
             deadline_ms = float(
                 payload.get("deadline_ms", self.config.default_deadline_ms)
@@ -393,37 +439,59 @@ class ServeCore:
                 raise ValueError(f"unknown dtype {dtype_name!r}")
             name, matrix, fp = self._resolve_matrix(payload)
         except LookupError as exc:
-            return self._reply("error", 404, t0, reason=str(exc))
+            trace = self._start_trace(
+                payload_fingerprint(payload), ordinal, client, request_id, t0
+            )
+            return self._reply(
+                "error", 404, t0, trace=trace, reason=str(exc)
+            )
         except (ReproError, ValueError, KeyError, TypeError) as exc:
-            return self._reply("error", 400, t0, reason=str(exc))
+            trace = self._start_trace(
+                payload_fingerprint(payload), ordinal, client, request_id, t0
+            )
+            return self._reply(
+                "error", 400, t0, trace=trace, reason=str(exc)
+            )
+
+        trace = self._start_trace(
+            fp, ordinal, client, request_id, t0, matrix=name
+        )
+        trace.add_span("resolve", t_start=t0, matrix=name)
 
         options = self._options(_DTYPES[dtype_name])
         cache_key = self._cache_key(fp, options)
+        t_cache = time.monotonic()
         with self._lock:
             hit = self._cache.get(cache_key)
             if hit is not None:
                 self._cache.move_to_end(cache_key)
+        trace.add_span("cache.lookup", t_start=t_cache, hit=hit is not None)
         if hit is not None:
             self.metrics.inc(
                 "repro_serve_cache_hits_total",
                 help="Requests answered from the result cache.",
             )
             return self._reply(
-                "success", 200, t0,
+                "success", 200, t0, trace=trace,
                 matrix=name, cached=True, result=dict(hit),
             )
 
         a, b = squared_operands(matrix)
         job = _Job(a=a, b=b, dtype=np.dtype(_DTYPES[dtype_name]),
-                   cache_key=cache_key, matrix_fp=fp)
+                   cache_key=cache_key, matrix_fp=fp,
+                   trace=trace, request_id=request_id,
+                   t_enqueue=time.monotonic())
         if not self._accepting:
             err = ServerOverloaded("server is shutting down", stage="serve")
             return self._reply(
-                "rejected", 503, t0, matrix=name, reason=err.one_line()
+                "rejected", 503, t0, trace=trace,
+                matrix=name, reason=err.one_line(),
             )
+        trace.retain()  # the executor thread's reference
         try:
             self._queue.put_nowait(job)
         except queue.Full:
+            trace.release()  # no executor will ever pick the job up
             err = ServerOverloaded(
                 f"admission queue full ({self.config.max_queue} pending)",
                 stage="serve",
@@ -433,10 +501,16 @@ class ServeCore:
                 help="Requests shed with a typed rejection.",
             )
             return self._reply(
-                "rejected", 429, t0, matrix=name, reason=err.one_line()
+                "rejected", 429, t0, trace=trace,
+                matrix=name, reason=err.one_line(),
             )
+        depth = self._queue.qsize()
+        self.metrics.set(
+            "repro_serve_queue_depth", depth,
+            help="Admission queue depth at the last sample.",
+        )
         self.metrics.set_max(
-            "repro_serve_queue_high_water", self._queue.qsize(),
+            "repro_serve_queue_high_water", depth,
             help="Deepest admission queue observed.",
         )
 
@@ -451,18 +525,21 @@ class ServeCore:
                 "repro_serve_rejected_total", reason="deadline",
                 help="Requests shed with a typed rejection.",
             )
+            trace.event(trace.root, "deadline", err.one_line())
             return self._reply(
-                "rejected", 504, t0, matrix=name, reason=err.one_line()
+                "rejected", 504, t0, trace=trace,
+                matrix=name, reason=err.one_line(),
             )
         resp = dict(job.response or {})
         outcome = resp.pop("outcome", "degraded")
         reason = resp.pop("reason", None)
         return self._reply(
-            outcome, 200, t0, matrix=name, cached=False,
+            outcome, 200, t0, trace=trace, matrix=name, cached=False,
             reason=reason, result=resp or None,
         )
 
-    def _reply(self, outcome: str, status: int, t0: float, **extra) -> dict:
+    def _reply(self, outcome: str, status: int, t0: float, *,
+               trace: RequestTrace | None = None, **extra) -> dict:
         latency_ms = (time.monotonic() - t0) * 1e3
         with self._lock:
             self._latencies.append(latency_ms)
@@ -479,6 +556,19 @@ class ServeCore:
                          help="Recent request latency quantiles.")
         body = {"outcome": outcome, "status": status,
                 "latency_ms": round(latency_ms, 3)}
+        if trace is not None:
+            body["request_id"] = trace.root.attrs.get("request_id", "")
+            body["trace_id"] = trace.trace_id
+            body["traceparent"] = TraceContext(
+                trace.trace_id, trace.root.span_id
+            ).to_traceparent()
+            self.metrics.observe(
+                "repro_serve_request_ms", latency_ms, outcome=outcome,
+                buckets=DEFAULT_LATENCY_BUCKETS_MS,
+                exemplar={"trace_id": trace.trace_id},
+                help="End-to-end request latency, by typed outcome.",
+            )
+            trace.release(outcome=outcome, status=status)
         for k, v in extra.items():
             if v is not None:
                 body[k] = v
@@ -503,6 +593,15 @@ class ServeCore:
                     "reason": f"unexpected executor error: {exc!r}",
                 }
             finally:
+                if job.trace is not None:
+                    # the executor's reference from admission; on an
+                    # abandoned (deadline-expired) job this is the last
+                    # one, so the trace still finalizes exactly once
+                    job.trace.release(
+                        executed_outcome=(job.response or {}).get(
+                            "outcome", "unknown"
+                        )
+                    )
                 job.done.set()
                 self._queue.task_done()
 
@@ -522,24 +621,77 @@ class ServeCore:
                 time.sleep(spec.delay_ms / 1000.0)
 
     def _execute(self, job: _Job) -> dict:
+        trace = job.trace
         with self._lock:
             self._executed += 1
             ordinal = self._executed
             try_primary = self._breaker.route_primary()
+            breaker = self._breaker.state_name()
+        if trace is not None:
+            trace.add_span(
+                "queue.wait", t_start=job.t_enqueue, ordinal=ordinal
+            )
+            self.metrics.observe(
+                "repro_serve_queue_wait_ms",
+                (time.monotonic() - job.t_enqueue) * 1e3,
+                buckets=DEFAULT_LATENCY_BUCKETS_MS,
+                exemplar={"trace_id": trace.trace_id},
+                help="Admission-queue wait before an executor picked up.",
+            )
         self._apply_chaos(ordinal)
         options = self._options(job.dtype)
+        t_exec = time.monotonic()
+        exec_span = (
+            trace.start_span("execute", ordinal=ordinal, breaker=breaker)
+            if trace is not None
+            else None
+        )
+
+        def _observe_execute(outcome: str) -> None:
+            if trace is None:
+                return
+            self.metrics.observe(
+                "repro_serve_execute_ms",
+                (time.monotonic() - t_exec) * 1e3,
+                outcome=outcome,
+                buckets=DEFAULT_LATENCY_BUCKETS_MS,
+                exemplar={"trace_id": trace.trace_id},
+                help="Executor time per job, by outcome.",
+            )
 
         failure = None
         if try_primary:
             attempt = 0
             while True:
+                att_span = (
+                    trace.start_span(
+                        "attempt", parent=exec_span,
+                        attempt=attempt, breaker=breaker,
+                    )
+                    if trace is not None
+                    else None
+                )
+                scope = (
+                    use_trace(trace, att_span, breaker=breaker)
+                    if trace is not None
+                    else nullcontext()
+                )
                 try:
-                    result = self._multiply(job.a, job.b, options)
+                    with scope:
+                        result = self._multiply(job.a, job.b, options)
+                    if trace is not None:
+                        trace.end_span(att_span)
+                        trace.graft_result(exec_span, result)
                     with self._lock:
                         self._breaker.succeeded()
+                    _observe_execute("success")
                     return self._finish_primary(job, result, attempt, ordinal)
                 except _TRANSIENT as exc:
                     failure = exc
+                    if trace is not None:
+                        trace.end_span(
+                            att_span, status="error", error=exc.__class__.__name__
+                        )
                     if attempt >= self.config.retries:
                         break
                     attempt += 1
@@ -551,9 +703,19 @@ class ServeCore:
                         self.config.backoff_base_ms * (2 ** (attempt - 1)),
                         self.config.backoff_cap_ms,
                     )
+                    t_back = time.monotonic()
                     time.sleep(backoff / 1000.0)
+                    if trace is not None:
+                        trace.add_span(
+                            "backoff", parent=exec_span,
+                            t_start=t_back, backoff_ms=backoff,
+                        )
                 except ReproError as exc:
                     failure = exc  # deterministic failure: degrade, no retry
+                    if trace is not None:
+                        trace.end_span(
+                            att_span, status="error", error=exc.one_line()
+                        )
                     break
             with self._lock:
                 self._breaker.failed()
@@ -567,16 +729,35 @@ class ServeCore:
             reason="breaker-open" if not try_primary else "pipeline-failure",
             help="Requests served by the global-ESC fallback.",
         )
-        run = fallback_multiply(job.a, job.b, options)
+        reason = (
+            failure.one_line()
+            if isinstance(failure, ReproError)
+            else f"circuit breaker {self._breaker.state_name()}"
+        )
+        fb_span = (
+            trace.start_span(
+                "fallback", parent=exec_span,
+                breaker=self._breaker.state_name(), reason=reason,
+            )
+            if trace is not None
+            else None
+        )
+        fb_scope = (
+            use_trace(trace, fb_span, breaker=self._breaker.state_name())
+            if trace is not None
+            else nullcontext()
+        )
+        with fb_scope:
+            run = fallback_multiply(job.a, job.b, options)
+        if trace is not None:
+            trace.end_span(fb_span)
+            trace.end_span(exec_span, outcome="degraded")
+        _observe_execute("degraded")
         from ..campaign.plan import matrix_fingerprint
 
         return {
             "outcome": "degraded",
-            "reason": (
-                failure.one_line()
-                if isinstance(failure, ReproError)
-                else f"circuit breaker {self._breaker.state_name()}"
-            ),
+            "reason": reason,
             "ordinal": ordinal,
             "digest": matrix_fingerprint(run.matrix),
             "nnz": run.matrix.nnz,
@@ -602,6 +783,30 @@ class ServeCore:
         routed = getattr(result, "dispatched_to", None)
         if routed:
             summary["dispatched_to"] = routed
+        audit = getattr(result, "routing_audit", None)
+        if audit:
+            with self._lock:
+                self._routing_errors.append(float(audit.get("rel_error", 0.0)))
+                mean_err = (
+                    sum(self._routing_errors) / len(self._routing_errors)
+                )
+            self.metrics.set(
+                "repro_serve_routing_prediction_error", mean_err,
+                help="Rolling mean relative selector prediction error.",
+            )
+            self.metrics.inc(
+                "repro_serve_routing_dispatch_total",
+                engine=str(audit.get("chosen", "")),
+                help="Adaptive dispatches, by chosen engine.",
+            )
+            summary["routing"] = {
+                k: audit[k]
+                for k in (
+                    "chosen", "predicted_chosen", "actual_cycles",
+                    "rel_error", "regret_bound",
+                )
+                if k in audit
+            }
         selected = routed or (
             self.config.backend if self.config.backend != "ac-spgemm" else None
         )
@@ -695,7 +900,13 @@ class ServeCore:
                 "pool_worker_deaths": self.pool.worker_deaths,
                 "pool_workers_respawned": self.pool.workers_respawned,
                 "queue_depth": self._queue.qsize(),
+                "requests_admitted": self._admitted,
+                "routing": {
+                    "dispatches": self.flight.recorded,
+                    "prediction_error": self.flight.prediction_error(),
+                },
                 "selections": dict(sorted(self._selections.items())),
+                "traces_stored": len(self.traces),
             }
 
     def healthy(self) -> bool:
@@ -724,6 +935,7 @@ class ServeCore:
         for t in self._executors:
             t.join(timeout=5)
         self._supervisor.join(timeout=5)
+        self.flight.flush()  # the drained event log must parse whole
         if teardown_pool:
             self.pool.shutdown()
         self.pool.segment_prefix = None

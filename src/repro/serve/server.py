@@ -7,13 +7,20 @@ nothing but sockets and signal handling.
 
 Endpoints::
 
-    GET  /healthz   liveness: 200 {"status": "ok", ...} while serving
-    GET  /metrics   Prometheus text exposition (0.0.4)
-    GET  /stats     live counters, breaker state, fired chaos faults
-    POST /multiply  execute one multiply; JSON body, JSON reply
+    GET  /healthz      liveness: 200 {"status": "ok", ...} while serving
+    GET  /metrics      Prometheus text exposition (0.0.4)
+    GET  /stats        live counters, breaker state, fired chaos faults
+    GET  /traces       trace ids held by the core's bounded trace store
+    GET  /trace/<id>   one request trace as JSON (rooted span tree)
+    POST /multiply     execute one multiply; JSON body, JSON reply
+
+``POST /multiply`` accepts a W3C-style ``traceparent`` request header
+(the server joins the caller's trace) and every response carries the
+request's ``traceparent`` back as a header and in the JSON body.
 
 ``SIGTERM`` drains: the listener stops accepting, queued jobs finish,
-in-flight responses are written, the warm pool is torn down (its shared
+in-flight responses are written, the flight-recorder event log is
+flushed to a parseable state, the warm pool is torn down (its shared
 memory must not outlive the process) and the daemon exits 0.
 """
 
@@ -76,6 +83,15 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, self.core.stats())
+        elif self.path == "/traces":
+            self._send_json(200, {"traces": self.core.traces.ids()})
+        elif self.path.startswith("/trace/"):
+            trace = self.core.traces.get(self.path[len("/trace/"):])
+            if trace is None:
+                self._send_json(404, {"outcome": "error",
+                                      "reason": "unknown trace id"})
+            else:
+                self._send_json(200, trace.to_dict())
         else:
             self._send_json(404, {"outcome": "error",
                                   "reason": f"no route {self.path}"})
@@ -95,8 +111,21 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"outcome": "error", "reason": str(exc)})
             return
-        body = self.core.handle(payload)
-        self._send_json(int(body.get("status", 200)), body)
+        body = self.core.handle(
+            payload, traceparent=self.headers.get("traceparent")
+        )
+        if "traceparent" in body:
+            # echo the trace identity as a header too, so W3C-style
+            # clients correlate without parsing the body
+            self.send_response(int(body.get("status", 200)))
+            doc = (json.dumps(body, sort_keys=True) + "\n").encode()
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(doc)))
+            self.send_header("traceparent", body["traceparent"])
+            self.end_headers()
+            self.wfile.write(doc)
+        else:
+            self._send_json(int(body.get("status", 200)), body)
 
 
 class ReproServer(ThreadingHTTPServer):
