@@ -5,10 +5,19 @@ The introduction motivates SpGEMM with algebraic multigrid solvers [5]:
 building the coarse-grid operator requires the *Galerkin triple product*
 ``A_coarse = R @ A @ P`` with ``R = P.T``.  This example builds a 2-D
 Poisson problem, constructs an aggregation-based prolongation operator
-P, and computes the triple product with AC-SpGEMM — two chained SpGEMMs
-— verifying every step against the sequential reference and checking
-the spectral sanity of the coarse operator (row sums of a Laplacian
+P, and computes the triple product as two *chained* SpGEMMs routed
+through the adaptive backend selector — so the flight recorder sees the
+chained workload and each multiply is dispatched per its structure —
+verifying every step against the sequential reference and checking the
+spectral sanity of the coarse operator (row sums of a Laplacian
 Galerkin product stay ~0).
+
+The second half scales the same chain past one device: a problem whose
+chunk-pool demand exceeds a single device's budget fails there, then
+succeeds on a 4-device SUMMA node where every device holds a quarter of
+the operands — and, because the Laplacian chain is integer-valued, the
+merged multi-device product is *byte-identical* to the unconstrained
+single-device result.
 
 Run:  python examples/amg_galerkin.py
 """
@@ -17,69 +26,60 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AcSpgemmOptions, CSRMatrix, ac_spgemm, spgemm_reference, transpose
-from repro.sparse import COOMatrix
+from repro import AcSpgemmOptions, spgemm_reference, transpose
+from repro.backends import run_backend
+from repro.matrices.generators import aggregation_prolongation, poisson_2d
+from repro.multi import NodeConfig, summa_spgemm
+from repro.obs.flight import get_flight_recorder
+from repro.resilience import ReproError
 
 
-def poisson_2d(side: int) -> CSRMatrix:
-    """Standard 5-point Laplacian on a side x side grid."""
-    n = side * side
-    idx = np.arange(n)
-    x, y = idx % side, idx // side
-    rows = [idx]
-    cols = [idx]
-    vals = [np.full(n, 4.0)]
-    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-        ok = (0 <= x + dx) & (x + dx < side) & (0 <= y + dy) & (y + dy < side)
-        rows.append(idx[ok])
-        cols.append(idx[ok] + dx + dy * side)
-        vals.append(np.full(int(ok.sum()), -1.0))
-    return COOMatrix(
-        rows=n,
-        cols=n,
-        row_idx=np.concatenate(rows),
-        col_idx=np.concatenate(cols),
-        values=np.concatenate(vals),
-    ).to_csr()
+def galerkin(a, p, opts):
+    """R @ A @ P as two chained adaptive multiplies.
 
-
-def aggregation_prolongation(side: int, factor: int = 2) -> CSRMatrix:
-    """Piecewise-constant prolongation over factor x factor aggregates."""
-    n = side * side
-    coarse_side = (side + factor - 1) // factor
-    idx = np.arange(n)
-    x, y = idx % side, idx // side
-    aggregate = (x // factor) + (y // factor) * coarse_side
-    return COOMatrix(
-        rows=n,
-        cols=coarse_side * coarse_side,
-        row_idx=idx,
-        col_idx=aggregate,
-        values=np.ones(n),
-    ).to_csr()
+    The intermediate ``AP`` feeds the second multiply exactly as
+    returned by the selector — same stats path, same cache keys as any
+    direct input.
+    """
+    r = transpose(p)
+    ap = run_backend("adaptive", a, p, opts)
+    coarse = run_backend("adaptive", r, ap.matrix, opts)
+    return ap, coarse
 
 
 def main() -> None:
     side = 64
     a = poisson_2d(side)
     p = aggregation_prolongation(side)
-    r = transpose(p)
     print(f"A: {a.shape}, nnz={a.nnz} (5-point Laplacian, {side}x{side} grid)")
     print(f"P: {p.shape}, nnz={p.nnz} (2x2 aggregation)")
 
     opts = AcSpgemmOptions()
+    flight = get_flight_recorder()
+    seen_before = flight.recorded
 
-    # Galerkin triple product as two chained SpGEMMs
-    ap = ac_spgemm(a, p, opts)
-    a_coarse = ac_spgemm(r, ap.matrix, opts)
+    # Galerkin triple product as two chained adaptive SpGEMMs
+    ap, a_coarse = galerkin(a, p, opts)
     print(f"\nA_coarse = R @ A @ P: {a_coarse.matrix.shape}, "
           f"nnz={a_coarse.matrix.nnz}")
+    print(f"routing: AP -> {ap.dispatched_to}, "
+          f"R(AP) -> {a_coarse.dispatched_to}")
     print(f"simulated time: AP {ap.seconds * 1e3:.3f} ms + "
           f"R(AP) {a_coarse.seconds * 1e3:.3f} ms")
 
+    # the selector's flight recorder saw both chained dispatches
+    chained = [e for e in flight.events() if e["seq"] > seen_before]
+    assert len(chained) == 2, chained
+    # the second dispatch consumed the first one's product
+    assert chained[0]["nnz_a"] == a.nnz and chained[0]["nnz_b"] == p.nnz
+    assert chained[1]["nnz_b"] == ap.matrix.nnz
+    print(f"flight recorder: {len(chained)} chained dispatch events, "
+          f"chose {[e['chosen'] for e in chained]} "
+          f"(regret bounds {[round(e['regret_bound'], 1) for e in chained]})")
+
     # verify both products against the reference
     assert ap.matrix.allclose(spgemm_reference(a, p))
-    assert a_coarse.matrix.allclose(spgemm_reference(r, ap.matrix))
+    assert a_coarse.matrix.allclose(spgemm_reference(transpose(p), ap.matrix))
     print("both products verified against the sequential reference")
 
     # coarse operator sanity: interior aggregate rows of the Galerkin
@@ -96,14 +96,46 @@ def main() -> None:
     # a second coarsening level, as a real AMG hierarchy would do
     coarse_side = side // 2
     p2 = aggregation_prolongation(coarse_side)
-    r2 = transpose(p2)
-    ap2 = ac_spgemm(a_coarse.matrix, p2, opts)
-    a2 = ac_spgemm(r2, ap2.matrix, opts)
+    ap2, a2 = galerkin(a_coarse.matrix, p2, opts)
     assert a2.matrix.allclose(
-        spgemm_reference(r2, spgemm_reference(a_coarse.matrix, p2))
+        spgemm_reference(
+            transpose(p2), spgemm_reference(a_coarse.matrix, p2)
+        )
     )
     print(f"level-2 operator: {a2.matrix.shape}, nnz={a2.matrix.nnz} — "
-          "two-level hierarchy built entirely with AC-SpGEMM")
+          "two-level hierarchy built with chained adaptive dispatches")
+
+    # ---------------------------------------------------------- multi-device
+    # A grid too large for one device's chunk pool: probe the demand,
+    # halve the budget, watch the single device fail, then run the same
+    # product on a 4-device SUMMA node where each device needs only its
+    # quarter — with the *same per-device pool budget*.
+    big_side = 96
+    big_a = poisson_2d(big_side)
+    probe = run_backend("ac-spgemm", big_a, big_a, opts)
+    demand = probe.memory.chunk_used_bytes
+    squeezed = opts.with_(
+        chunk_pool_bytes=demand // 2, max_restarts=0, on_failure="raise"
+    )
+    print(f"\nA@A on {big_side}x{big_side} grid needs {demand} chunk-pool "
+          f"bytes; capping one device at {demand // 2}")
+    try:
+        run_backend("ac-spgemm", big_a, big_a, squeezed)
+        raise AssertionError("squeezed single-device run should have failed")
+    except ReproError as exc:
+        print(f"single device: {exc.one_line()}")
+
+    node = NodeConfig(devices=4)
+    summa = summa_spgemm(big_a, big_a, node, squeezed, backend="ac-spgemm")
+    summa.reconcile()
+    print(f"4-device SUMMA: nnz={summa.matrix.nnz}, "
+          f"{summa.makespan_cycles:.0f} cycles, overlap hid "
+          f"{summa.overlap_saved_cycles:.0f} cycles vs blocking broadcasts")
+    # the Laplacian is integer-valued, so the round-merged values are
+    # exact — byte-identical to the unconstrained single-device product
+    assert summa.matrix.exactly_equal(probe.matrix)
+    print("merged multi-device product is byte-identical to the "
+          "single-device run the pool cap rejected")
 
 
 if __name__ == "__main__":

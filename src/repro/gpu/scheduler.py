@@ -46,15 +46,33 @@ class KernelTiming:
     @property
     def multiprocessor_load(self) -> float:
         """min SM busy time / max SM busy time — 1.0 is a perfect load
-        balance (the paper reports "virtually perfect in all cases")."""
+        balance (the paper reports "virtually perfect in all cases").
+
+        When the launch dispatched fewer blocks than the device has SMs
+        (small per-tile launches on a multi-device node), only the SMs
+        that could receive a block participate: the greedy scheduler
+        fills SMs 0..n_blocks-1 first, so the trailing all-idle SMs
+        would otherwise report a spurious 0.0 load for a perfectly
+        balanced launch.
+        """
         if not self.sm_busy_cycles or max(self.sm_busy_cycles) == 0:
             return 1.0
-        return min(self.sm_busy_cycles) / max(self.sm_busy_cycles)
+        occupied = self.sm_busy_cycles
+        if 0 < self.n_blocks < len(self.sm_busy_cycles):
+            occupied = self.sm_busy_cycles[: self.n_blocks]
+        return min(occupied) / max(self.sm_busy_cycles)
 
     @property
     def utilization(self) -> float:
         """Fraction of SM-cycles busy during this launch (1.0 when the
-        launch ran no blocks or took zero time)."""
+        launch ran no blocks or took zero time).
+
+        An empty launch is vacuously fully utilised even when a launch
+        overhead gives it a non-zero makespan — returning
+        ``0 / capacity`` there mis-reported pure-overhead launches.
+        """
+        if self.n_blocks == 0:
+            return 1.0
         capacity = len(self.sm_busy_cycles) * self.makespan_cycles
         if capacity == 0:
             return 1.0

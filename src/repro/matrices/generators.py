@@ -40,6 +40,8 @@ __all__ = [
     "bipartite_design",
     "lp_matrix",
     "diagonal_dominant",
+    "poisson_2d",
+    "aggregation_prolongation",
 ]
 
 _I = np.int64
@@ -304,3 +306,47 @@ def diagonal_dominant(n: int, avg_off: float, seed: SeedLike = 0) -> CSRMatrix:
     r = np.concatenate([coo.row_idx, np.arange(n, dtype=_I)])
     c = np.concatenate([coo.col_idx, np.arange(n, dtype=_I)])
     return _coo_to_csr(r, c, _values(rng, r.shape[0]), n, n)
+
+
+def poisson_2d(side: int) -> CSRMatrix:
+    """Standard 5-point Laplacian on a ``side`` x ``side`` grid.
+
+    Integer-valued (4 / -1 entries), so chained Galerkin products over
+    it are exact in float64 under any summation order — the workload
+    class the multi-device byte-identity gates are built on (see
+    ``repro.multi.summa``).
+    """
+    n = side * side
+    idx = np.arange(n)
+    x, y = idx % side, idx // side
+    rows = [idx]
+    cols = [idx]
+    vals = [np.full(n, 4.0)]
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ok = (0 <= x + dx) & (x + dx < side) & (0 <= y + dy) & (y + dy < side)
+        rows.append(idx[ok])
+        cols.append(idx[ok] + dx + dy * side)
+        vals.append(np.full(int(ok.sum()), -1.0))
+    return COOMatrix(
+        rows=n,
+        cols=n,
+        row_idx=np.concatenate(rows),
+        col_idx=np.concatenate(cols),
+        values=np.concatenate(vals),
+    ).to_csr()
+
+
+def aggregation_prolongation(side: int, factor: int = 2) -> CSRMatrix:
+    """Piecewise-constant AMG prolongation over factor x factor aggregates."""
+    n = side * side
+    coarse_side = (side + factor - 1) // factor
+    idx = np.arange(n)
+    x, y = idx % side, idx // side
+    aggregate = (x // factor) + (y // factor) * coarse_side
+    return COOMatrix(
+        rows=n,
+        cols=coarse_side * coarse_side,
+        row_idx=idx,
+        col_idx=aggregate,
+        values=np.ones(n),
+    ).to_csr()

@@ -1,0 +1,142 @@
+"""Node-level configuration for the simulated multi-device SUMMA runs.
+
+A :class:`NodeConfig` extends the single-:class:`DeviceConfig` world to
+a P-device node: P identical devices on a √P×√P grid, wired with one
+static broadcast bus per grid row (carrying A tiles) and one per grid
+column (carrying B tiles).  Each bus is striped into two colour
+channels — even SUMMA rounds use colour 0, odd rounds colour 1 — so the
+fabric exposes the four static colour classes of the SUMMA 4-colour
+pipeline (A×{even,odd} ∪ B×{even,odd}): the broadcast of round ``k+1``
+can occupy the other colour channel of the same physical bus while the
+compute of round ``k`` is still draining the previous one.
+
+Every broadcast is metered on a per-link :class:`LinkCounters` (the
+interconnect analogue of :class:`~repro.gpu.counters.TrafficCounters`),
+and ``SummaResult.reconcile()`` checks those counters exactly against
+the tile partition of the operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..gpu.config import DeviceConfig
+
+__all__ = ["NodeConfig", "LinkCounters", "Interconnect", "link_key"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A simulated √P×√P node of identical devices.
+
+    ``link_latency_cycles`` and ``link_bytes_per_cycle`` describe one
+    colour channel of one broadcast bus (cycle counts are on the device
+    clock, so they compose directly with kernel makespans).  The host
+    constants charge the node-side partition, per-device tile merge and
+    final assembly passes, keeping the end-to-end makespan a pure
+    function of the inputs.
+    """
+
+    devices: int = 4
+    #: per-device configuration; ``None`` inherits ``options.device``
+    device: DeviceConfig | None = None
+    link_latency_cycles: float = 2000.0
+    link_bytes_per_cycle: float = 16.0
+    #: colour channels per operand bus (2 ⇒ the 4-colour pipeline)
+    colors_per_bus: int = 2
+    partition_cycles_per_nnz: float = 0.5
+    merge_cycles_per_entry: float = 4.0
+    assemble_cycles_per_entry: float = 1.0
+
+    def __post_init__(self) -> None:
+        grid = math.isqrt(self.devices)
+        if self.devices < 1 or grid * grid != self.devices:
+            raise ValueError(
+                f"devices must be a positive perfect square, got {self.devices}"
+            )
+        if self.link_latency_cycles < 0:
+            raise ValueError("link_latency_cycles must be non-negative")
+        if self.link_bytes_per_cycle <= 0:
+            raise ValueError("link_bytes_per_cycle must be positive")
+        if self.colors_per_bus not in (1, 2):
+            raise ValueError("colors_per_bus must be 1 or 2")
+
+    @property
+    def grid(self) -> int:
+        """√P — the side of the device grid (and the SUMMA round count)."""
+        return math.isqrt(self.devices)
+
+    def with_(self, **kw) -> "NodeConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kw)
+
+    def broadcast_cycles(self, nbytes: int) -> float:
+        """Modeled occupancy of one colour channel for one tile."""
+        return self.link_latency_cycles + nbytes / self.link_bytes_per_cycle
+
+
+@dataclass
+class LinkCounters:
+    """Traffic meter of one colour channel of one broadcast bus."""
+
+    broadcasts: int = 0
+    messages: int = 0  # one per (tile, receiver) pair
+    bytes_sent: int = 0  # delivered bytes: tile bytes × fan-out
+    busy_cycles: float = 0.0
+
+    def merge(self, other: "LinkCounters") -> None:
+        self.broadcasts += other.broadcasts
+        self.messages += other.messages
+        self.bytes_sent += other.bytes_sent
+        self.busy_cycles += other.busy_cycles
+
+    def snapshot(self) -> dict:
+        return {
+            "broadcasts": self.broadcasts,
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "busy_cycles": self.busy_cycles,
+        }
+
+
+def link_key(bus: str, index: int, color: int) -> str:
+    """Canonical name of one colour channel (``row1.color0`` ...)."""
+    return f"{bus}{index}.color{color}"
+
+
+@dataclass
+class Interconnect:
+    """The node's static broadcast fabric: per-link counters + clocks.
+
+    ``broadcast`` meters one tile broadcast on the channel picked by the
+    4-colour schedule and returns its modeled duration; occupancy (when
+    the channel is actually free) is the SUMMA driver's timeline job.
+    """
+
+    node: NodeConfig
+    links: dict[str, LinkCounters] = field(default_factory=dict)
+
+    def channel(self, bus: str, index: int, round_index: int) -> str:
+        color = round_index % self.node.colors_per_bus
+        return link_key(bus, index, color)
+
+    def broadcast(
+        self, bus: str, index: int, round_index: int, nbytes: int, fanout: int
+    ) -> tuple[str, float]:
+        """Meter one tile broadcast; returns ``(link key, cycles)``."""
+        key = self.channel(bus, index, round_index)
+        cycles = self.node.broadcast_cycles(nbytes)
+        link = self.links.setdefault(key, LinkCounters())
+        link.broadcasts += 1
+        link.messages += fanout
+        link.bytes_sent += nbytes * fanout
+        link.busy_cycles += cycles
+        return key, cycles
+
+    def totals(self) -> LinkCounters:
+        """Fabric-wide counter sum (deterministic key order)."""
+        total = LinkCounters()
+        for key in sorted(self.links):
+            total.merge(self.links[key])
+        return total

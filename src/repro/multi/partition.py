@@ -1,0 +1,151 @@
+"""2D tile partition of the SUMMA operands, and the inverse assembly.
+
+The grid is √P×√P.  A's rows and B's columns are split into √P balanced
+panels (the output ownership), and the shared inner dimension into √P
+panels (the SUMMA round index), giving the classic tile layout::
+
+    A[i][k] : rows  of panel i  × inner panel k      (owner device (i,k))
+    B[k][j] : inner panel k     × columns of panel j (owner device (k,j))
+
+All slicing and assembly is pure integer index arithmetic plus value
+*copies* — no value is ever re-accumulated here — so a partition
+followed by :func:`assemble_tiles` is byte-identical to the input, and
+the tile nnz/byte totals are conserved exactly (the invariant
+``SummaResult.reconcile()`` checks the link counters against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["split_points", "csr_tile", "GridPartition", "assemble_tiles"]
+
+
+def split_points(n: int, parts: int) -> list[int]:
+    """``parts + 1`` balanced cut offsets of ``range(n)`` (first cuts
+    take the remainder, as in the GLB's uniform nnz split)."""
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    base, rem = divmod(n, parts)
+    cuts = [0]
+    for p in range(parts):
+        cuts.append(cuts[-1] + base + (1 if p < rem else 0))
+    return cuts
+
+
+def csr_tile(m: CSRMatrix, r0: int, r1: int, c0: int, c1: int) -> CSRMatrix:
+    """The sub-matrix ``m[r0:r1, c0:c1]`` with re-based indices."""
+    lo, hi = int(m.row_ptr[r0]), int(m.row_ptr[r1])
+    cols = m.col_idx[lo:hi]
+    lens = m.row_ptr[r0 + 1 : r1 + 1] - m.row_ptr[r0:r1]
+    rows = np.repeat(np.arange(r1 - r0, dtype=np.int64), lens)
+    keep = (cols >= c0) & (cols < c1)
+    rows = rows[keep]
+    row_ptr = np.zeros(r1 - r0 + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=r1 - r0), out=row_ptr[1:])
+    return CSRMatrix(
+        rows=r1 - r0,
+        cols=c1 - c0,
+        row_ptr=row_ptr,
+        col_idx=cols[keep] - c0,
+        values=m.values[lo:hi][keep].copy(),
+    )
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """The cut offsets of one SUMMA decomposition."""
+
+    grid: int
+    row_splits: tuple[int, ...]  # A rows / C rows
+    inner_splits: tuple[int, ...]  # A cols == B rows
+    col_splits: tuple[int, ...]  # B cols / C cols
+
+    @classmethod
+    def build(cls, a: CSRMatrix, b: CSRMatrix, grid: int) -> "GridPartition":
+        if a.cols != b.rows:
+            raise ValueError(
+                f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
+            )
+        return cls(
+            grid=grid,
+            row_splits=tuple(split_points(a.rows, grid)),
+            inner_splits=tuple(split_points(a.cols, grid)),
+            col_splits=tuple(split_points(b.cols, grid)),
+        )
+
+    def a_tile(self, a: CSRMatrix, i: int, k: int) -> CSRMatrix:
+        rs, ks = self.row_splits, self.inner_splits
+        return csr_tile(a, rs[i], rs[i + 1], ks[k], ks[k + 1])
+
+    def b_tile(self, b: CSRMatrix, k: int, j: int) -> CSRMatrix:
+        ks, cs = self.inner_splits, self.col_splits
+        return csr_tile(b, ks[k], ks[k + 1], cs[j], cs[j + 1])
+
+    def a_tiles(self, a: CSRMatrix) -> list[list[CSRMatrix]]:
+        return [
+            [self.a_tile(a, i, k) for k in range(self.grid)]
+            for i in range(self.grid)
+        ]
+
+    def b_tiles(self, b: CSRMatrix) -> list[list[CSRMatrix]]:
+        return [
+            [self.b_tile(b, k, j) for j in range(self.grid)]
+            for k in range(self.grid)
+        ]
+
+
+def _hstack_tiles(tiles: list[CSRMatrix], col_splits) -> CSRMatrix:
+    """Concatenate same-height tiles left to right (cols re-offset).
+
+    Column ranges are disjoint and increasing, so per-row concatenation
+    in tile order keeps every row sorted; values are copied verbatim.
+    """
+    n = tiles[0].rows
+    counts = np.zeros(n, dtype=np.int64)
+    for t in tiles:
+        counts += t.row_lengths()
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    nnz = int(row_ptr[-1])
+    col_idx = np.empty(nnz, dtype=np.int64)
+    values = np.empty(nnz, dtype=tiles[0].values.dtype)
+    placed = np.zeros(n, dtype=np.int64)
+    for j, t in enumerate(tiles):
+        lens = t.row_lengths()
+        rows = np.repeat(np.arange(n, dtype=np.int64), lens)
+        rank = np.arange(t.nnz, dtype=np.int64) - t.row_ptr[rows]
+        dest = row_ptr[rows] + placed[rows] + rank
+        col_idx[dest] = t.col_idx + col_splits[j]
+        values[dest] = t.values
+        placed += lens
+    return CSRMatrix(
+        rows=n,
+        cols=int(col_splits[-1]),
+        row_ptr=row_ptr,
+        col_idx=col_idx,
+        values=values,
+    )
+
+
+def assemble_tiles(
+    tiles: list[list[CSRMatrix]], partition: GridPartition
+) -> CSRMatrix:
+    """Stitch the per-device C tiles (``tiles[i][j]``) back together."""
+    panels = [_hstack_tiles(row, partition.col_splits) for row in tiles]
+    row_ptr = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    for p in panels:
+        row_ptr.append(p.row_ptr[1:] + offset)
+        offset += p.nnz
+    return CSRMatrix(
+        rows=int(partition.row_splits[-1]),
+        cols=int(partition.col_splits[-1]),
+        row_ptr=np.concatenate(row_ptr),
+        col_idx=np.concatenate([p.col_idx for p in panels]),
+        values=np.concatenate([p.values for p in panels]),
+    )

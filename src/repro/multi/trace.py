@@ -1,0 +1,111 @@
+"""Merged per-device observability for one SUMMA run.
+
+:func:`merged_trace_view` folds every tile run's device trace into one
+node-wide :class:`~repro.obs.device.DeviceTrace` — SM and worker ids
+namespaced by device ordinal so nothing collides — together with the
+stage-cycle totals, counters and span forest that make the merged trace
+pass :func:`repro.obs.analyze.reconcile` **exactly**: the same
+bit-for-bit checks a single-device trace must pass, now over P devices
+at once.
+
+Records and spans stay on their device-local clocks (shifting floats
+onto the node clock would perturb the re-derived durations); the merge
+order is device-major then round, and every exactness check in
+``reconcile`` walks records and spans in exactly that order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.counters import TrafficCounters
+from ..obs.device import DeviceTrace, merge_device_traces
+from ..obs.span import Span
+
+__all__ = ["MergedTraceView", "merged_trace_view"]
+
+
+@dataclass
+class MergedTraceView:
+    """Result-shaped bundle for :func:`repro.obs.analyze.reconcile`."""
+
+    device_trace: DeviceTrace
+    stage_cycles: dict
+    counters: TrafficCounters
+    spans: Span | None
+    devices: int
+    restarts: int = 0
+    degraded: bool = False
+    clock_ghz: float = 0.0
+    failure: object = None
+    tile_keys: list = field(default_factory=list)
+
+
+def merged_trace_view(summa_result) -> MergedTraceView:
+    """Build the node-wide merged trace of one SUMMA run.
+
+    Requires ``options.device_trace=True`` on the tile runs.  Stage
+    cycles are re-accumulated from the *original* per-tile records in
+    merge order — not read back from the merged trace — so the
+    ``reconcile`` stage check genuinely verifies that renumbering
+    altered no cycle and dropped no record.
+    """
+    g = summa_result.grid
+    cfg_sms = None
+    entries = []
+    span_roots = []
+    stage_cycles: dict[str, float] = {}
+    counters = TrafficCounters()
+    tile_keys = []
+    restarts = 0
+    degraded = False
+    for i in range(g):
+        for j in range(g):
+            ordinal = i * g + j
+            for k in range(g):
+                run = summa_result.tile_runs[(i, j, k)]
+                result = run.result
+                dtrace = result.device_trace
+                if dtrace is None:
+                    raise ValueError(
+                        "tile runs carry no device trace; run summa_spgemm "
+                        "with options.device_trace=True"
+                    )
+                if cfg_sms is None:
+                    cfg_sms = dtrace.num_sms
+                entries.append((ordinal, dtrace))
+                tile_keys.append((i, j, k))
+                for rec in dtrace.records:
+                    stage_cycles[rec.stage] = (
+                        stage_cycles.get(rec.stage, 0.0) + rec.cycles
+                    )
+                counters.merge(result.counters)
+                restarts += result.restarts
+                degraded = degraded or result.degraded
+                if result.spans is not None:
+                    span_roots.append(result.spans)
+
+    merged = merge_device_traces(
+        entries,
+        clock_ghz=summa_result.clock_ghz,
+        total_sms=cfg_sms * summa_result.devices,
+    )
+    spans = None
+    if len(span_roots) == len(entries):
+        end = max(
+            (s.end_cycle for s in span_roots if s.end_cycle is not None),
+            default=0.0,
+        )
+        spans = Span("summa.devices", 0.0, end)
+        spans.children.extend(span_roots)
+    return MergedTraceView(
+        device_trace=merged,
+        stage_cycles=stage_cycles,
+        counters=counters,
+        spans=spans,
+        devices=summa_result.devices,
+        restarts=restarts,
+        degraded=degraded,
+        clock_ghz=summa_result.clock_ghz,
+        tile_keys=tile_keys,
+    )

@@ -32,16 +32,18 @@ an explicit truncation marker.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..gpu.counters import TrafficCounters
 
 __all__ = [
     "DEVICE_TRACE_SCHEMA",
+    "WORKER_ID_STRIDE",
     "BlockMeta",
     "BlockEvent",
     "DeviceRecord",
     "DeviceTrace",
+    "merge_device_traces",
 ]
 
 #: bump when the serialised trace layout changes incompatibly
@@ -50,6 +52,12 @@ DEVICE_TRACE_SCHEMA = 1
 #: Perfetto process id for the per-SM tracks (host spans use 2, the
 #: kernel-launch timeline uses 1 — see ``repro.obs.export``)
 DEVICE_SM_PID = 3
+
+#: worker-id namespace stride per device ordinal when traces from a
+#: multi-device run are merged into one report: block/worker ids of
+#: device ``d`` become ``id + d * WORKER_ID_STRIDE``, so per-device ids
+#: can never collide (no single-device launch reaches 2^20 blocks)
+WORKER_ID_STRIDE = 1 << 20
 
 
 def _nonzero_counters(counters: dict | None) -> dict:
@@ -385,6 +393,51 @@ class DeviceTrace:
                 totals["ALL"][sm] += busy[sm]
         return totals
 
+    # -- multi-device merging ---------------------------------------------
+
+    def renumbered(self, *, ordinal: int, total_sms: int) -> "DeviceTrace":
+        """A copy with SM and worker ids namespaced by device ordinal.
+
+        SM ``s`` of device ``d`` becomes SM ``d * num_sms + s`` of a
+        ``total_sms``-wide node, worker/block ids move up by
+        ``d * WORKER_ID_STRIDE``, and each launch's ``sm_busy`` vector
+        is re-padded so the busy floats land at their namespaced SM
+        positions *without being re-accumulated* — ``per_sm_busy`` on
+        the merged trace therefore re-derives bit-for-bit.  Cycles are
+        left on the device-local clock (so span alignment and stage
+        sums stay byte-identical); node-timeline placement is a
+        presentation concern handled at Perfetto export.
+        """
+        sm_offset = ordinal * self.num_sms
+        worker_offset = ordinal * WORKER_ID_STRIDE
+        if sm_offset + self.num_sms > total_sms:
+            raise ValueError(
+                f"ordinal {ordinal} does not fit {total_sms} node SMs"
+            )
+        out = DeviceTrace(clock_ghz=self.clock_ghz, num_sms=total_sms)
+        out.truncated = self.truncated
+        out.truncation_reason = self.truncation_reason
+        out.chunk_counts = {
+            (k + worker_offset if k >= 0 else k): v
+            for k, v in self.chunk_counts.items()
+        }
+        for rec in self.records:
+            blocks = tuple(
+                replace(
+                    ev,
+                    worker_id=ev.worker_id + worker_offset,
+                    sm=ev.sm + sm_offset if ev.sm >= 0 else ev.sm,
+                )
+                for ev in rec.blocks
+            )
+            sm_busy = rec.sm_busy
+            if sm_busy:
+                padded = [0.0] * total_sms
+                padded[sm_offset : sm_offset + len(sm_busy)] = list(sm_busy)
+                sm_busy = tuple(padded)
+            out.records.append(replace(rec, blocks=blocks, sm_busy=sm_busy))
+        return out
+
     # -- serialisation ----------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -402,9 +455,43 @@ class DeviceTrace:
         """Canonical serialisation: byte-identical across engines."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    def shifted(self, offset: float) -> "DeviceTrace":
+        """Presentation-only copy with every cycle stamp moved by ``offset``.
+
+        Used to place a device-local trace onto a node-wide timeline at
+        Perfetto export.  Adding a float offset perturbs re-derived
+        durations bitwise, so a shifted trace must **never** be fed to
+        ``reconcile`` — the exactness checks run on the unshifted trace.
+        """
+        out = DeviceTrace(clock_ghz=self.clock_ghz, num_sms=self.num_sms)
+        out.chunk_counts = dict(self.chunk_counts)
+        out.truncated = self.truncated
+        out.truncation_reason = self.truncation_reason
+        for rec in self.records:
+            out.records.append(
+                replace(
+                    rec,
+                    start_cycle=rec.start_cycle + offset,
+                    blocks=tuple(
+                        replace(
+                            ev,
+                            start_cycle=ev.start_cycle + offset,
+                            end_cycle=ev.end_cycle + offset,
+                        )
+                        for ev in rec.blocks
+                    ),
+                )
+            )
+        return out
+
     # -- Perfetto export ---------------------------------------------------
 
-    def to_perfetto_events(self, pid: int = DEVICE_SM_PID) -> list[dict]:
+    def to_perfetto_events(
+        self,
+        pid: int = DEVICE_SM_PID,
+        *,
+        process_name: str = "simulated device (per-SM)",
+    ) -> list[dict]:
         """Per-SM tracks plus counter tracks in Chrome trace format.
 
         Slices (``ph: "X"``) land on one thread per SM; counter events
@@ -423,7 +510,7 @@ class DeviceTrace:
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": "simulated device (per-SM)"},
+                "args": {"name": process_name},
             },
             {
                 "name": "process_sort_index",
@@ -524,3 +611,30 @@ class DeviceTrace:
                     }
                 )
         return events
+
+
+def merge_device_traces(entries, *, clock_ghz: float, total_sms: int) -> DeviceTrace:
+    """Merge per-device traces of one node run into a single trace.
+
+    ``entries`` is an iterable of ``(ordinal, DeviceTrace)`` pairs in
+    the deterministic merge order (device-major, then round).  Each
+    trace is renumbered into the ordinal's SM/worker namespace first,
+    so ids from different devices can never collide; records keep their
+    device-local cycles and are concatenated in entry order, which is
+    the order every exactness check (stage sums, span alignment) uses.
+    """
+    merged = DeviceTrace(clock_ghz=clock_ghz, num_sms=total_sms)
+    reasons = []
+    for ordinal, trace in entries:
+        part = trace.renumbered(ordinal=ordinal, total_sms=total_sms)
+        merged.records.extend(part.records)
+        for bid, count in part.chunk_counts.items():
+            # namespaced ids are disjoint; only the merge-produced
+            # bucket (-1) is shared and accumulates
+            merged.chunk_counts[bid] = merged.chunk_counts.get(bid, 0) + count
+        if part.truncated:
+            merged.truncated = True
+            if part.truncation_reason:
+                reasons.append(f"device {ordinal}: {part.truncation_reason}")
+    merged.truncation_reason = "; ".join(reasons)
+    return merged

@@ -28,6 +28,7 @@ from .span import Span
 __all__ = [
     "span_events",
     "perfetto_payload",
+    "summa_perfetto_payload",
     "write_perfetto",
     "validate_perfetto",
     "validate_perfetto_file",
@@ -193,6 +194,12 @@ DEVICE_PID = 1
 SPAN_PID = 2
 REQUEST_PID = 4
 ROUTING_PID = 5
+#: multi-device SUMMA exports: device ``d``'s span subtree lands on pid
+#: ``SUMMA_SPAN_PID_BASE + d`` and its per-SM tracks on
+#: ``SUMMA_SM_PID_BASE + d`` — distinct process rows per device, as the
+#: node timeline would otherwise interleave P devices on one track
+SUMMA_SPAN_PID_BASE = 10
+SUMMA_SM_PID_BASE = 40
 _EPS = 1e-9
 
 _META_NAMES = {
@@ -363,6 +370,166 @@ def perfetto_payload(
         if clock_ghz is None:
             raise ValueError("clock_ghz is required to export routing audits")
         events.extend(routing_events(routing, clock_ghz))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _subtree_events(
+    span: Span, offset: float, us: float, pid: int, tid: int
+) -> list[dict]:
+    """X/i events for one grafted span subtree shifted by ``offset``.
+
+    The shift happens here, in presentation floats only — the span tree
+    itself stays on the device-local clock so the bitwise reconcile
+    checks keep holding on the original data.
+    """
+    events: list[dict] = []
+    for s in span.walk():
+        end = s.end_cycle if s.end_cycle is not None else s.start_cycle
+        events.append(
+            {
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (s.start_cycle + offset) * us,
+                "dur": (end - s.start_cycle) * us,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: s.attrs[k] for k in sorted(s.attrs)},
+            }
+        )
+        for ev in s.events:
+            events.append(
+                {
+                    "name": ev.label,
+                    "cat": "span-event",
+                    "ph": "i",
+                    "ts": (ev.cycle + offset) * us,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {"detail": ev.detail},
+                }
+            )
+    return events
+
+
+def summa_perfetto_payload(result) -> dict:
+    """Perfetto JSON for one multi-device SUMMA run.
+
+    ``result`` is a :class:`repro.multi.SummaResult`.  The payload holds
+    one node-narrative process (pid ``SPAN_PID``: partition, rounds with
+    exposed broadcast windows, merge, assemble) plus **two process rows
+    per device**: the device's grafted pipeline-span subtrees (pid
+    ``SUMMA_SPAN_PID_BASE + ordinal``, one thread row per SUMMA round)
+    and — when the tiles were run with ``device_trace=True`` — its
+    per-SM tracks (pid ``SUMMA_SM_PID_BASE + ordinal``).  Device-local
+    cycles are translated onto the node clock here, at export, using the
+    ``start_cycle_on_node`` placement attr recorded by ``summa_spgemm``.
+    """
+    clock_ghz = result.clock_ghz
+    us = 1e6 / (clock_ghz * 1e9)
+    g = result.grid
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SPAN_PID,
+            "tid": 1,
+            "args": {"name": "SUMMA node"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": SPAN_PID,
+            "tid": 1,
+            "args": {"name": "node timeline"},
+        },
+    ]
+    # node narrative: walk the tree but stop at grafted device subtrees
+    # (they carry a start_cycle_on_node placement attr)
+    pending = [result.spans]
+    grafted: list[Span] = []
+    while pending:
+        span = pending.pop()
+        if "start_cycle_on_node" in span.attrs:
+            grafted.append(span)
+            continue
+        end = span.end_cycle if span.end_cycle is not None else span.start_cycle
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start_cycle * us,
+                "dur": (end - span.start_cycle) * us,
+                "pid": SPAN_PID,
+                "tid": 1,
+                "args": {k: span.attrs[k] for k in sorted(span.attrs)},
+            }
+        )
+        pending.extend(span.children)
+
+    named_pids: set[int] = set()
+    for sub in sorted(
+        grafted, key=lambda s: (s.attrs["device"], s.attrs["round"])
+    ):
+        ordinal = sub.attrs["device"]
+        k = sub.attrs["round"]
+        pid = SUMMA_SPAN_PID_BASE + ordinal
+        if pid not in named_pids:
+            named_pids.add(pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        "name": f"device {sub.attrs['device_grid']} pipeline"
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": pid},
+                }
+            )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": k + 1,
+                "args": {"name": f"round {k}"},
+            }
+        )
+        offset = sub.attrs["start_cycle_on_node"] - sub.start_cycle
+        events.extend(_subtree_events(sub, offset, us, pid, k + 1))
+
+    # per-device SM tracks, when every tile carried a device trace
+    traces = [run.result.device_trace for run in result.tile_runs.values()]
+    if traces and all(t is not None for t in traces):
+        for i in range(g):
+            for j in range(g):
+                ordinal = i * g + j
+                runs = [result.tile_runs[(i, j, k)] for k in range(g)]
+                merged = None
+                for run in runs:
+                    part = run.result.device_trace.shifted(run.start_cycle)
+                    if merged is None:
+                        merged = part
+                    else:
+                        merged.records.extend(part.records)
+                events.extend(
+                    merged.to_perfetto_events(
+                        pid=SUMMA_SM_PID_BASE + ordinal,
+                        process_name=f"device ({i},{j}) SMs",
+                    )
+                )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -67,3 +67,40 @@ def test_total_cycles_conserved():
     blocks = [3.0, 4.0, 5.0]
     t = schedule_blocks(blocks, num_sms=2)
     assert t.total_block_cycles == pytest.approx(12.0)
+
+
+class TestSmallLaunchStatistics:
+    """Launches with fewer blocks than SMs (multi-device tile runs)."""
+
+    def test_mp_load_ignores_never_eligible_sms(self):
+        # 2 equal blocks on an 4-SM device: a perfectly balanced small
+        # launch must not report 0.0 because SMs 2-3 never got a block
+        t = schedule_blocks([10.0, 10.0], num_sms=4)
+        assert t.multiprocessor_load == 1.0
+
+    def test_mp_load_small_launch_imbalance_still_visible(self):
+        t = schedule_blocks([100.0, 1.0], num_sms=8)
+        assert t.multiprocessor_load == pytest.approx(0.01)
+
+    def test_mp_load_single_block(self):
+        t = schedule_blocks([42.0], num_sms=16)
+        assert t.multiprocessor_load == 1.0
+
+    def test_utilization_empty_launch_with_overhead(self):
+        # a pure-overhead launch is vacuously fully utilised; it used
+        # to report 0 / capacity = 0.0, poisoning min-aggregates
+        t = schedule_blocks([], num_sms=4, launch_overhead=7.0)
+        assert t.makespan_cycles == 7.0
+        assert t.utilization == 1.0
+        assert t.multiprocessor_load == 1.0
+
+    def test_utilization_small_launch_counts_all_sms(self):
+        # utilisation (unlike mpL) keeps charging idle SMs: 2 blocks of
+        # 10 cycles on 4 SMs is half-utilised
+        t = schedule_blocks([10.0, 10.0], num_sms=4)
+        assert t.utilization == pytest.approx(0.5)
+
+    def test_busy_cycles_unchanged_by_statistics(self):
+        # the fixes only change derived statistics, never recorded state
+        t = schedule_blocks([5.0, 3.0], num_sms=4)
+        assert t.sm_busy_cycles == (5.0, 3.0, 0.0, 0.0)
